@@ -1,0 +1,117 @@
+// Package beatbgp reproduces "Beating BGP is Harder than we Thought"
+// (Arnold et al., HotNets 2019) as a runnable system: a deterministic
+// Internet simulator — physical cable map, AS-level topology with business
+// relationships, valley-free BGP, geographic path resolution, congestion —
+// plus the content-provider, anycast-CDN, and cloud-tier infrastructure
+// the paper's three studies measured, and the experiments that regenerate
+// every figure and in-text statistic on that substrate.
+//
+// # Quick start
+//
+//	s, err := beatbgp.NewScenario(beatbgp.Config{Seed: 42})
+//	if err != nil { ... }
+//	res, err := beatbgp.Run(s, "fig1")
+//	if err != nil { ... }
+//	fmt.Print(res.Render())
+//
+// A Scenario is a fully built world: topology, provider with private WAN
+// and peering fabric, anycast CDN sites, LDNS population, and the
+// congestion simulator. Experiments share the scenario, so traces and
+// routing state computed by one are reused by the next. Everything is
+// deterministic in Config.Seed.
+//
+// The experiment registry (Experiments) covers the paper's Figures 1-5,
+// the in-text statistics around them, and the open questions of §3.1.3,
+// §3.2.2, §3.3.2 and §4 (peering reduction, anycast grooming, single-WAN
+// carriage, split TCP, availability). See DESIGN.md for the full index
+// and EXPERIMENTS.md for paper-vs-measured values.
+package beatbgp
+
+import (
+	"beatbgp/internal/cdn"
+	"beatbgp/internal/core"
+	"beatbgp/internal/dnsmap"
+	"beatbgp/internal/netsim"
+	"beatbgp/internal/provider"
+	"beatbgp/internal/stats"
+	"beatbgp/internal/topology"
+	"beatbgp/internal/workload"
+)
+
+// Core orchestration types.
+type (
+	// Config assembles a scenario; the zero value plus a Seed is a
+	// sensible laptop-scale default.
+	Config = core.Config
+	// Scenario is a fully built simulation world.
+	Scenario = core.Scenario
+	// Result is one experiment's output: named series (figure lines) and
+	// tables (reported statistics).
+	Result = core.Result
+	// Experiment is one runnable paper artifact.
+	Experiment = core.Experiment
+)
+
+// Domain configuration and result types, for callers composing their own
+// studies on the substrate.
+type (
+	TopologyConfig = topology.GenConfig
+	ProviderConfig = provider.Config
+	CDNConfig      = cdn.Config
+	DNSConfig      = dnsmap.Config
+	NetConfig      = netsim.Config
+	WorkloadConfig = workload.Config
+
+	// EgressOption is one route a provider PoP could use toward a prefix.
+	EgressOption = provider.EgressOption
+	// RouteClass ranks egress options under provider BGP policy.
+	RouteClass = provider.RouteClass
+	// Grooming holds manual anycast route-optimization knobs.
+	Grooming = cdn.Grooming
+	// TrainOpts tunes DNS-redirector training.
+	TrainOpts = cdn.TrainOpts
+	// Prefix is a client address block with geography and weight.
+	Prefix = topology.Prefix
+
+	// Series is a plottable line; Table a labelled grid.
+	Series = stats.Series
+	Table  = stats.Table
+)
+
+// Egress route classes, in decreasing BGP-policy preference.
+const (
+	ClassPNI        = provider.ClassPNI
+	ClassPublicPeer = provider.ClassPublicPeer
+	ClassTransit    = provider.ClassTransit
+)
+
+// NewScenario builds the simulation world for the config.
+func NewScenario(cfg Config) (*Scenario, error) { return core.NewScenario(cfg) }
+
+// Experiments returns the full registry in the paper's order.
+func Experiments() []Experiment { return core.Experiments() }
+
+// Run executes one experiment by registry ID (e.g. "fig1", "t311",
+// "xgroom") against the scenario.
+func Run(s *Scenario, id string) (Result, error) { return core.RunByID(s, id) }
+
+// RunSeeds runs one experiment across several seeds — a fresh world each
+// — and aggregates every reported table cell into mean/min/max, the
+// robustness check for any headline number.
+func RunSeeds(base Config, id string, seeds []uint64) (Result, error) {
+	return core.RunSeeds(base, id, seeds)
+}
+
+// RunAll executes every registered experiment in order, stopping at the
+// first error.
+func RunAll(s *Scenario) ([]Result, error) {
+	var out []Result
+	for _, e := range Experiments() {
+		r, err := e.Run(s)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

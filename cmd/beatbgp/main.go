@@ -1,0 +1,160 @@
+// Command beatbgp runs the paper's experiments against a freshly built
+// scenario and prints the regenerated figure/table data.
+//
+// Usage:
+//
+//	beatbgp [-seed N] [-exp id[,id...]] [-list] [-days N] [-eyeballs N]
+//
+// With no -exp, every registered experiment runs in the paper's order.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+
+	"beatbgp"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 42, "scenario seed; all results are deterministic in it")
+		exp      = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		days     = flag.Int("days", 0, "override Edge-Fabric trace length in days (default 10)")
+		eyeballs = flag.Int("eyeballs", 0, "override eyeball ASes per region (default 20)")
+		asJSON   = flag.Bool("json", false, "emit each result as JSON instead of text")
+		outDir   = flag.String("out", "", "also write <id>.json and per-series/table CSVs into this directory")
+		plot     = flag.Bool("plot", false, "render each series as an ASCII chart")
+		seeds    = flag.Int("seeds", 0, "run each experiment across N seeds (fresh worlds) and report mean/min/max per table cell")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range beatbgp.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := beatbgp.Config{Seed: *seed}
+	if *days > 0 {
+		cfg.Workload.Days = *days
+	}
+	if *eyeballs > 0 {
+		cfg.Topology.EyeballsPerRegion = *eyeballs
+	}
+
+	start := time.Now()
+	s, err := beatbgp.NewScenario(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beatbgp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# scenario seed=%d built in %v: %d ASes, %d links, %d prefixes\n",
+		*seed, time.Since(start).Round(time.Millisecond),
+		s.Topo.NumASes(), len(s.Topo.Links), len(s.Topo.Prefixes))
+
+	var ids []string
+	if *exp == "" {
+		for _, e := range beatbgp.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		t0 := time.Now()
+		var r beatbgp.Result
+		if *seeds > 1 {
+			seedList := make([]uint64, *seeds)
+			for i := range seedList {
+				seedList[i] = *seed + uint64(i)
+			}
+			r, err = beatbgp.RunSeeds(cfg, id, seedList)
+		} else {
+			r, err = beatbgp.Run(s, id)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "beatbgp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n# %s completed in %v\n", id, time.Since(t0).Round(time.Millisecond))
+		switch {
+		case *asJSON:
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintf(os.Stderr, "beatbgp: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Print(r.Render())
+			if *plot {
+				for _, sr := range r.Series {
+					fmt.Print(sr.Plot(64, 12))
+				}
+			}
+		}
+		if *outDir != "" {
+			if err := writeResult(*outDir, r); err != nil {
+				fmt.Fprintf(os.Stderr, "beatbgp: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+var unsafePath = regexp.MustCompile(`[^a-zA-Z0-9._-]+`)
+
+func slug(s string) string { return unsafePath.ReplaceAllString(s, "_") }
+
+// writeResult persists one experiment's output: a JSON document plus one
+// CSV per series and per table.
+func writeResult(dir string, r beatbgp.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	js, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, r.ID+".json"), js, 0o644); err != nil {
+		return err
+	}
+	for _, sr := range r.Series {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s.%s.csv", r.ID, slug(sr.Name))))
+		if err != nil {
+			return err
+		}
+		werr := sr.WriteCSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	for _, tb := range r.Tables {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s.%s.csv", r.ID, slug(tb.Name))))
+		if err != nil {
+			return err
+		}
+		werr := tb.WriteCSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

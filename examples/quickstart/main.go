@@ -1,0 +1,36 @@
+// Quickstart: build a scenario, reproduce the paper's headline result
+// (Figure 1 — BGP's preferred egress route vs the best alternate), and
+// print the summary statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beatbgp"
+)
+
+func main() {
+	// Everything is deterministic in the seed: rerunning this program
+	// reproduces the exact same numbers.
+	s, err := beatbgp.NewScenario(beatbgp.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("world: %d ASes, %d links, %d client prefixes, %d provider PoPs\n",
+		s.Topo.NumASes(), len(s.Topo.Links), len(s.Topo.Prefixes), len(s.Prov.PoPs))
+
+	res, err := beatbgp.Run(s, "fig1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+
+	// The series are plain (x, y) points — feed them to any plotting tool.
+	for _, series := range res.Series {
+		if series.Name == "median-diff" {
+			fmt.Printf("\nCDF of the median difference at 0 ms: %.3f (fraction of traffic where BGP is at least as fast)\n",
+				series.YAt(0))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module beatbgp
+
+go 1.22

@@ -1,0 +1,455 @@
+// Package bgp implements AS-level BGP route computation over a topology:
+// valley-free (Gao–Rexford) propagation, the standard decision process
+// (local preference by business relationship, then AS-path length, then
+// deterministic tie-breaks), AS-path prepending and selective announcement
+// for anycast grooming, and multi-origin announcements for anycast
+// catchment computation.
+//
+// The engine computes, for every AS, its best route to a prefix. Alternate
+// routes at a given AS — the raw material of the paper's Figure 1 — are
+// derived afterwards: each neighbor offers its own best route subject to
+// the export rules, exactly as real eBGP sessions would.
+package bgp
+
+import (
+	"fmt"
+	"math"
+
+	"beatbgp/internal/geo"
+	"beatbgp/internal/topology"
+)
+
+// Source records how a route was learned, in decreasing preference order.
+type Source int
+
+// Route sources. Lower values are preferred (higher local preference).
+const (
+	SrcOrigin Source = iota
+	SrcCustomer
+	SrcPeer
+	SrcProvider
+	srcNone
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcOrigin:
+		return "origin"
+	case SrcCustomer:
+		return "customer"
+	case SrcPeer:
+		return "peer"
+	case SrcProvider:
+		return "provider"
+	default:
+		return "none"
+	}
+}
+
+// Route is one path to a prefix as seen by a specific AS.
+type Route struct {
+	Valid   bool
+	Src     Source
+	Link    int   // link over which the route was learned; -1 at the origin
+	NextHop int   // neighbor AS the route was learned from; -1 at the origin
+	Path    []int // AS path, self first, origin last (prepends repeat the origin)
+	// Links holds the link ID of every AS-level transition along Path, in
+	// order. Prepended (repeated) path entries do not consume a link, so
+	// len(Links) equals the number of distinct adjacent AS pairs.
+	Links []int
+}
+
+// PathLen returns the AS-path length, the BGP comparison metric.
+func (r Route) PathLen() int { return len(r.Path) }
+
+// Origin returns the originating AS, or -1 for an invalid route.
+func (r Route) Origin() int {
+	if !r.Valid || len(r.Path) == 0 {
+		return -1
+	}
+	return r.Path[len(r.Path)-1]
+}
+
+// Announcement originates a prefix at an AS, with optional grooming knobs.
+type Announcement struct {
+	Origin  int // AS ID
+	Prepend int // extra copies of the origin ASN on the announced path
+	// SuppressLinks lists link IDs over which the origin does not announce
+	// (selective announcement, a standard anycast grooming technique).
+	SuppressLinks map[int]bool
+}
+
+// RIB holds the best route of every AS toward one prefix.
+type RIB struct {
+	topo *topology.Topo
+	best []Route
+	// down records the failed links this RIB was computed without, so
+	// per-ingress re-selection (OffersTo, BestFrom) honors them too.
+	down map[int]bool
+	// suppressed records origin-side selective-announcement withdrawals,
+	// for the same reason.
+	suppressed map[int]map[int]bool // origin AS -> suppressed link IDs
+}
+
+// Best returns the AS's best route (Valid=false when unreachable).
+func (r *RIB) Best(asID int) Route { return r.best[asID] }
+
+// localPref maps a relationship view to a route source.
+func srcFor(view topology.RelView) Source {
+	switch view {
+	case topology.ViewCustomer:
+		return SrcCustomer
+	case topology.ViewPeer:
+		return SrcPeer
+	default:
+		return SrcProvider
+	}
+}
+
+// homeCity returns the AS's highest-population footprint city within its
+// home region (falling back to the global footprint); used for geographic
+// tie-breaking, a coarse stand-in for lowest-IGP-cost / hot-potato
+// tie-breaks in the real decision process.
+func homeCity(t *topology.Topo, asID int) int {
+	a := t.ASes[asID]
+	best, bestPop := -1, -1.0
+	for _, c := range a.Cities {
+		city := t.Catalog.City(c)
+		if city.Region != a.Region {
+			continue
+		}
+		if city.Pop > bestPop {
+			best, bestPop = c, city.Pop
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for _, c := range a.Cities {
+		if p := t.Catalog.City(c).Pop; p > bestPop {
+			best, bestPop = c, p
+		}
+	}
+	return best
+}
+
+// nearestInterconnectKm returns the geodesic distance from the AS's home
+// city to the closest interconnection city of the link.
+func nearestInterconnectKm(t *topology.Topo, asID int, link int) float64 {
+	home := t.Catalog.City(homeCity(t, asID)).Loc
+	best := math.Inf(1)
+	for _, c := range t.Links[link].Cities {
+		if d := geo.DistanceKm(home, t.Catalog.City(c).Loc); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// better reports whether candidate a should replace b at the given AS,
+// applying the decision process: local preference, then AS-path length,
+// then nearest-exit distance, then lowest neighbor ASN.
+func better(t *topology.Topo, asID int, a, b Route) bool {
+	if !a.Valid {
+		return false
+	}
+	if !b.Valid {
+		return true
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) < len(b.Path)
+	}
+	if a.Link >= 0 && b.Link >= 0 {
+		da := nearestInterconnectKm(t, asID, a.Link)
+		db := nearestInterconnectKm(t, asID, b.Link)
+		if da != db {
+			return da < db
+		}
+	}
+	an, bn := -1, -1
+	if a.NextHop >= 0 {
+		an = t.ASes[a.NextHop].ASN
+	}
+	if b.NextHop >= 0 {
+		bn = t.ASes[b.NextHop].ASN
+	}
+	return an < bn
+}
+
+// Compute runs route propagation for one prefix announced as described.
+// Multiple announcements model anycast: every origin announces the same
+// prefix and each AS converges on one of them.
+func Compute(t *topology.Topo, anns []Announcement) (*RIB, error) {
+	return ComputeWithout(t, anns, nil)
+}
+
+// ComputeWithout is Compute with a set of failed links excluded from
+// propagation — the post-convergence routing state after those links go
+// down. Pair it with ConvergenceMinutes to model the transient.
+func ComputeWithout(t *topology.Topo, anns []Announcement, downLinks map[int]bool) (*RIB, error) {
+	n := t.NumASes()
+	rib := &RIB{topo: t, best: make([]Route, n), down: downLinks}
+	if len(anns) == 0 {
+		return nil, fmt.Errorf("bgp: no announcements")
+	}
+	down := func(link int) bool { return downLinks != nil && downLinks[link] }
+
+	origins := make(map[int]Announcement, len(anns))
+	for _, ann := range anns {
+		if ann.Origin < 0 || ann.Origin >= n {
+			return nil, fmt.Errorf("bgp: origin %d out of range", ann.Origin)
+		}
+		if _, dup := origins[ann.Origin]; dup {
+			return nil, fmt.Errorf("bgp: duplicate origin %d", ann.Origin)
+		}
+		origins[ann.Origin] = ann
+		if len(ann.SuppressLinks) > 0 {
+			if rib.suppressed == nil {
+				rib.suppressed = make(map[int]map[int]bool)
+			}
+			rib.suppressed[ann.Origin] = ann.SuppressLinks
+		}
+		path := make([]int, 0, ann.Prepend+1)
+		for i := 0; i <= ann.Prepend; i++ {
+			path = append(path, ann.Origin)
+		}
+		r := Route{Valid: true, Src: SrcOrigin, Link: -1, NextHop: -1, Path: path}
+		if better(t, ann.Origin, r, rib.best[ann.Origin]) {
+			rib.best[ann.Origin] = r
+		}
+	}
+
+	// adopt offers route `cand` (already from the neighbor's perspective
+	// rewritten for `to`) and reports whether it improved.
+	adopt := func(to int, cand Route) bool {
+		if better(t, to, cand, rib.best[to]) {
+			rib.best[to] = cand
+			return true
+		}
+		return false
+	}
+	// extend builds to's candidate route via neighbor nb.
+	extend := func(to int, nb topology.Neighbor, from Route) Route {
+		path := make([]int, 0, len(from.Path)+1)
+		path = append(path, to)
+		path = append(path, from.Path...)
+		links := make([]int, 0, len(from.Links)+1)
+		links = append(links, nb.Link)
+		links = append(links, from.Links...)
+		return Route{Valid: true, Src: srcFor(nb.View), Link: nb.Link, NextHop: nb.Other, Path: path, Links: links}
+	}
+	// suppressed reports whether the origin withholds the prefix on link.
+	suppressed := func(asID, link int) bool {
+		ann, isOrigin := origins[asID]
+		return isOrigin && ann.SuppressLinks != nil && ann.SuppressLinks[link]
+	}
+
+	// Phase 1 — customer routes flow upward. Iterate to fixpoint in
+	// rounds; each round extends paths by one provider hop, so shortest
+	// paths settle first. Origin prepending is naturally accounted for
+	// because path length includes the padding.
+	for changed := true; changed; {
+		changed = false
+		for as := 0; as < n; as++ {
+			r := rib.best[as]
+			if !r.Valid || r.Src > SrcCustomer {
+				continue
+			}
+			for _, nb := range t.Neighbors(as) {
+				if nb.View != topology.ViewProvider || suppressed(as, nb.Link) || down(nb.Link) || loop(r.Path, nb.Other) {
+					continue
+				}
+				// From the provider's perspective this is a customer route.
+				pnb := topology.Neighbor{Link: nb.Link, Other: as, View: topology.ViewCustomer}
+				if adopt(nb.Other, extend(nb.Other, pnb, r)) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Phase 2 — peer routes travel exactly one peer hop.
+	type peerCand struct {
+		to    int
+		route Route
+	}
+	var peerCands []peerCand
+	for as := 0; as < n; as++ {
+		r := rib.best[as]
+		if !r.Valid || r.Src > SrcCustomer {
+			continue
+		}
+		for _, nb := range t.Neighbors(as) {
+			if nb.View != topology.ViewPeer || suppressed(as, nb.Link) || down(nb.Link) || loop(r.Path, nb.Other) {
+				continue
+			}
+			pnb := topology.Neighbor{Link: nb.Link, Other: as, View: topology.ViewPeer}
+			peerCands = append(peerCands, peerCand{nb.Other, extend(nb.Other, pnb, r)})
+		}
+	}
+	for _, pc := range peerCands {
+		adopt(pc.to, pc.route)
+	}
+
+	// Phase 3 — provider routes flow downward to customers.
+	for changed := true; changed; {
+		changed = false
+		for as := 0; as < n; as++ {
+			r := rib.best[as]
+			if !r.Valid {
+				continue
+			}
+			for _, nb := range t.Neighbors(as) {
+				if nb.View != topology.ViewCustomer || suppressed(as, nb.Link) || down(nb.Link) || loop(r.Path, nb.Other) {
+					continue
+				}
+				cnb := topology.Neighbor{Link: nb.Link, Other: as, View: topology.ViewProvider}
+				if adopt(nb.Other, extend(nb.Other, cnb, r)) {
+					changed = true
+				}
+			}
+		}
+	}
+	return rib, nil
+}
+
+// Offer is a route a neighbor would advertise to a given AS — the AS's
+// alternates, before its own decision process picks one.
+type Offer struct {
+	Neighbor int              // neighbor AS ID
+	Link     int              // link the offer arrives over
+	View     topology.RelView // my view of the neighbor
+	Route    Route            // the route as adopted by me (my ASN already prepended)
+}
+
+// OffersTo returns every route asID would hear from its neighbors under
+// standard export policy: a neighbor exports its best route to me if I am
+// its customer, or if the route came from the neighbor's customer cone
+// (origin or customer routes). The origin's own announcement suppressions
+// are honored by Compute; per-neighbor suppressions at transit ASes are
+// not modeled.
+func (r *RIB) OffersTo(asID int) []Offer {
+	t := r.topo
+	var out []Offer
+	for _, nb := range t.Neighbors(asID) {
+		if r.down != nil && r.down[nb.Link] {
+			continue
+		}
+		if sup := r.suppressed[nb.Other]; sup != nil && sup[nb.Link] {
+			// The neighbor originates this prefix but withholds it on
+			// this link (selective announcement).
+			continue
+		}
+		nr := r.best[nb.Other]
+		if !nr.Valid {
+			continue
+		}
+		// Do not offer a route that already goes through me.
+		if loop(nr.Path, asID) {
+			continue
+		}
+		exports := false
+		switch nb.View {
+		case topology.ViewProvider:
+			// Neighbor is my provider: providers export everything to customers.
+			exports = true
+		case topology.ViewPeer, topology.ViewCustomer:
+			// Peers and customers export only their customer-cone routes.
+			exports = nr.Src <= SrcCustomer
+		}
+		if !exports {
+			continue
+		}
+		path := make([]int, 0, len(nr.Path)+1)
+		path = append(path, asID)
+		path = append(path, nr.Path...)
+		links := make([]int, 0, len(nr.Links)+1)
+		links = append(links, nb.Link)
+		links = append(links, nr.Links...)
+		out = append(out, Offer{
+			Neighbor: nb.Other,
+			Link:     nb.Link,
+			View:     nb.View,
+			Route:    Route{Valid: true, Src: srcFor(nb.View), Link: nb.Link, NextHop: nb.Other, Path: path, Links: links},
+		})
+	}
+	return out
+}
+
+// BestFrom returns the route the AS would use for traffic entering at
+// srcCity: the standard decision process, but with the geographic
+// tie-break anchored at the traffic's own city instead of the AS's home
+// city. This models per-ingress hot potato inside multi-city ASes — the
+// mechanism that makes anycast work inside an eyeball network peering
+// with a CDN at several locations. Falls back to Best when the AS hears
+// no offers (e.g. it is the origin).
+func (r *RIB) BestFrom(asID, srcCity int) Route {
+	t := r.topo
+	best := r.best[asID]
+	if best.Valid && best.Src == SrcOrigin {
+		return best
+	}
+	srcLoc := t.Catalog.City(srcCity).Loc
+	linkDist := func(link int) float64 {
+		d := math.Inf(1)
+		for _, c := range t.Links[link].Cities {
+			if v := geo.DistanceKm(srcLoc, t.Catalog.City(c).Loc); v < d {
+				d = v
+			}
+		}
+		return d
+	}
+	var chosen Route
+	chosenDist := math.Inf(1)
+	for _, off := range r.OffersTo(asID) {
+		cand := off.Route
+		cd := linkDist(cand.Link)
+		switch {
+		case !chosen.Valid:
+		case cand.Src != chosen.Src:
+			if cand.Src > chosen.Src {
+				continue
+			}
+		case len(cand.Path) != len(chosen.Path):
+			if len(cand.Path) > len(chosen.Path) {
+				continue
+			}
+		case cd != chosenDist:
+			if cd > chosenDist {
+				continue
+			}
+		default:
+			if t.ASes[cand.NextHop].ASN >= t.ASes[chosen.NextHop].ASN {
+				continue
+			}
+		}
+		chosen, chosenDist = cand, cd
+	}
+	if !chosen.Valid {
+		return best
+	}
+	return chosen
+}
+
+func loop(path []int, asID int) bool {
+	for _, p := range path {
+		if p == asID {
+			return true
+		}
+	}
+	return false
+}
+
+// ReachableCount returns how many ASes have a valid route in the RIB.
+func (r *RIB) ReachableCount() int {
+	n := 0
+	for _, b := range r.best {
+		if b.Valid {
+			n++
+		}
+	}
+	return n
+}

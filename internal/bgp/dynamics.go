@@ -1,0 +1,35 @@
+package bgp
+
+// Convergence timing model for failure events. BGP does not fail over
+// instantly: after a withdrawal, routers explore progressively longer
+// paths, gated by the MRAI advertisement interval, so convergence time
+// grows with the AS-level distance the new route spans. The constants
+// follow the classic measurements (Labovitz et al.): tens of seconds of
+// base detection/processing plus roughly half a minute of path
+// exploration per AS hop of the replacement route.
+
+// Convergence model constants, in minutes.
+const (
+	// ConvergenceBaseMin covers failure detection and local withdrawal
+	// processing.
+	ConvergenceBaseMin = 0.5
+	// ConvergencePerHopMin is the exploration cost per AS hop of the
+	// route that replaces the withdrawn one.
+	ConvergencePerHopMin = 0.5
+)
+
+// ConvergenceMinutes estimates how long an AS that was using oldRoute is
+// without connectivity after the failure, before newRoute (the
+// post-convergence route) is installed. An invalid newRoute means the
+// destination is partitioned: convergence never completes within the
+// outage and the caller should treat the whole outage as downtime.
+func ConvergenceMinutes(oldRoute, newRoute Route) (minutes float64, converges bool) {
+	if !newRoute.Valid {
+		return 0, false
+	}
+	if !oldRoute.Valid {
+		// Nothing was lost; the "new" route is just the current one.
+		return 0, true
+	}
+	return ConvergenceBaseMin + ConvergencePerHopMin*float64(newRoute.PathLen()-1), true
+}

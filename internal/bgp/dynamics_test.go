@@ -1,0 +1,188 @@
+package bgp
+
+import (
+	"testing"
+
+	"beatbgp/internal/topology"
+)
+
+func TestComputeWithoutReroutes(t *testing.T) {
+	topo, ids := tinyTopo(t)
+	// EYE2 normally reaches EYE3 over their direct peering; with that
+	// link down it must fall back to the transit path via TRa-TRb.
+	var peering int = -1
+	for _, nb := range topo.Neighbors(ids["EYE2"]) {
+		if nb.Other == ids["EYE3"] {
+			peering = nb.Link
+		}
+	}
+	if peering < 0 {
+		t.Fatal("no EYE2-EYE3 peering")
+	}
+	rib, err := ComputeWithout(topo, []Announcement{{Origin: ids["EYE3"]}},
+		map[int]bool{peering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rib.Best(ids["EYE2"])
+	if !r.Valid {
+		t.Fatal("EYE2 lost all connectivity")
+	}
+	if !eq(pathNames(topo, r), "EYE2", "TRa", "TRb", "EYE3") {
+		t.Fatalf("fallback path = %v", pathNames(topo, r))
+	}
+	for _, l := range r.Links {
+		if l == peering {
+			t.Fatal("route still uses the failed link")
+		}
+	}
+}
+
+func TestComputeWithoutPartition(t *testing.T) {
+	topo, ids := tinyTopo(t)
+	// EYE4 is single-homed to TRc; with that link down nothing reaches it.
+	var uplink int = -1
+	for _, nb := range topo.Neighbors(ids["EYE4"]) {
+		if nb.Other == ids["TRc"] {
+			uplink = nb.Link
+		}
+	}
+	rib, err := ComputeWithout(topo, []Announcement{{Origin: ids["EYE4"]}},
+		map[int]bool{uplink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.Best(ids["EYE1"]).Valid {
+		t.Fatal("EYE1 still reaches the partitioned origin")
+	}
+	if !rib.Best(ids["EYE4"]).Valid {
+		t.Fatal("the origin itself must keep its own route")
+	}
+}
+
+func TestOffersRespectDownLinks(t *testing.T) {
+	topo, ids := tinyTopo(t)
+	var peering int = -1
+	for _, nb := range topo.Neighbors(ids["EYE2"]) {
+		if nb.Other == ids["EYE3"] {
+			peering = nb.Link
+		}
+	}
+	rib, err := ComputeWithout(topo, []Announcement{{Origin: ids["EYE3"]}},
+		map[int]bool{peering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range rib.OffersTo(ids["EYE2"]) {
+		if off.Link == peering {
+			t.Fatal("offer arrives over a failed link")
+		}
+	}
+	// BestFrom must not resurrect the failed link either.
+	city := topo.ASes[ids["EYE2"]].Cities[0]
+	r := rib.BestFrom(ids["EYE2"], city)
+	if r.Valid && r.Link == peering {
+		t.Fatal("BestFrom selected the failed link")
+	}
+}
+
+func TestConvergenceMinutes(t *testing.T) {
+	old := Route{Valid: true, Path: []int{1, 2, 3}}
+	nw := Route{Valid: true, Path: []int{1, 4, 5, 3}}
+	m, ok := ConvergenceMinutes(old, nw)
+	if !ok {
+		t.Fatal("converging failover reported as partition")
+	}
+	want := ConvergenceBaseMin + ConvergencePerHopMin*3
+	if m != want {
+		t.Fatalf("convergence = %v, want %v", m, want)
+	}
+	// Longer replacement paths take longer to explore.
+	longer := Route{Valid: true, Path: []int{1, 4, 5, 6, 3}}
+	m2, _ := ConvergenceMinutes(old, longer)
+	if m2 <= m {
+		t.Fatal("longer replacement should converge slower")
+	}
+	// Partition.
+	if _, ok := ConvergenceMinutes(old, Route{}); ok {
+		t.Fatal("invalid new route must report no convergence")
+	}
+	// Nothing lost.
+	if m3, ok := ConvergenceMinutes(Route{}, nw); !ok || m3 != 0 {
+		t.Fatalf("fresh route should cost nothing: %v %v", m3, ok)
+	}
+}
+
+func TestComputeWithoutRandomFailures(t *testing.T) {
+	// Property: under arbitrary link-failure sets, no surviving route
+	// uses a failed link, and every surviving route is loop-free.
+	topo, err := topology.Generate(topology.GenConfig{Seed: 17, EyeballsPerRegion: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := topo.ByClass(topology.Eyeball)[5]
+	for trial := 0; trial < 12; trial++ {
+		down := map[int]bool{}
+		// Deterministic pseudo-random failure set.
+		x := uint64(trial)*2654435761 + 12345
+		for i := 0; i < 25; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			down[int(x>>33)%len(topo.Links)] = true
+		}
+		rib, err := ComputeWithout(topo, []Announcement{{Origin: origin}}, down)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for as := 0; as < topo.NumASes(); as++ {
+			r := rib.Best(as)
+			if !r.Valid {
+				continue
+			}
+			for _, l := range r.Links {
+				if down[l] {
+					t.Fatalf("trial %d: route at AS %d uses failed link %d", trial, as, l)
+				}
+			}
+			seen := map[int]bool{}
+			for _, hop := range r.Path {
+				if seen[hop] {
+					t.Fatalf("trial %d: loop in path %v", trial, r.Path)
+				}
+				seen[hop] = true
+			}
+			// Offers must not resurrect failed links either.
+			for _, off := range rib.OffersTo(as) {
+				if down[off.Link] {
+					t.Fatalf("trial %d: offer over failed link %d", trial, off.Link)
+				}
+				for _, l := range off.Route.Links {
+					if down[l] {
+						t.Fatalf("trial %d: offered route uses failed link %d", trial, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestComputeWithoutMatchesComputeWhenNothingDown(t *testing.T) {
+	topo, err := topology.Generate(topology.GenConfig{Seed: 11, EyeballsPerRegion: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := topo.ByClass(topology.Eyeball)[3]
+	a, err := Compute(topo, []Announcement{{Origin: origin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeWithout(topo, []Announcement{{Origin: origin}}, map[int]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for as := 0; as < topo.NumASes(); as++ {
+		ra, rb := a.Best(as), b.Best(as)
+		if ra.Valid != rb.Valid || ra.PathLen() != rb.PathLen() || ra.Link != rb.Link {
+			t.Fatalf("AS %d differs with empty down set", as)
+		}
+	}
+}

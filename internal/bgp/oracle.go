@@ -1,0 +1,39 @@
+package bgp
+
+import "beatbgp/internal/topology"
+
+// Oracle memoizes per-origin RIBs. Routing depends only on the set of
+// announcements, so all prefixes originated (plainly) by the same AS share
+// one RIB; with hundreds of prefixes per origin this saves most of the
+// propagation work in the experiments.
+type Oracle struct {
+	topo  *topology.Topo
+	plain map[int]*RIB
+}
+
+// NewOracle returns an oracle over the topology.
+func NewOracle(t *topology.Topo) *Oracle {
+	return &Oracle{topo: t, plain: make(map[int]*RIB)}
+}
+
+// Topo returns the underlying topology.
+func (o *Oracle) Topo() *topology.Topo { return o.topo }
+
+// ToOrigin returns the RIB for a plain (ungroomed, single-origin)
+// announcement by the AS, computing it on first use.
+func (o *Oracle) ToOrigin(origin int) (*RIB, error) {
+	if rib, ok := o.plain[origin]; ok {
+		return rib, nil
+	}
+	rib, err := Compute(o.topo, []Announcement{{Origin: origin}})
+	if err != nil {
+		return nil, err
+	}
+	o.plain[origin] = rib
+	return rib, nil
+}
+
+// ToPrefix returns the RIB governing routes toward the prefix.
+func (o *Oracle) ToPrefix(p topology.Prefix) (*RIB, error) {
+	return o.ToOrigin(p.Origin)
+}

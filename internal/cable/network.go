@@ -1,0 +1,168 @@
+package cable
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is one organization's overlay on the physical graph: the subset
+// of fiber segments it lights, plus an operational stretch factor that
+// models how well-run its internal routing is (1.0 = optimal shortest
+// paths; eyeball ISPs typically run 1.1–1.3).
+//
+// A Network memoizes single-source shortest-path trees, so repeated Path
+// queries are cheap. Networks are not safe for concurrent mutation but
+// Path is safe to call from a single goroutine throughout a simulation.
+type Network struct {
+	Name    string
+	Stretch float64
+
+	g       *Graph
+	edgeOK  []bool
+	present []bool // city -> is in footprint
+	cache   map[int]sstree
+}
+
+type sstree struct {
+	dist     []float64
+	prevEdge []int
+}
+
+// NewNetwork builds an overlay containing exactly the given edge IDs.
+// Stretch values below 1 are raised to 1.
+func NewNetwork(g *Graph, name string, edgeIDs []int, stretch float64) *Network {
+	if stretch < 1 {
+		stretch = 1
+	}
+	n := &Network{
+		Name:    name,
+		Stretch: stretch,
+		g:       g,
+		edgeOK:  make([]bool, g.NumEdges()),
+		present: make([]bool, g.Catalog().Len()),
+		cache:   make(map[int]sstree),
+	}
+	for _, id := range edgeIDs {
+		n.edgeOK[id] = true
+		e := g.Edge(id)
+		n.present[e.A] = true
+		n.present[e.B] = true
+	}
+	return n
+}
+
+// NetworkFromCities builds an overlay whose *presence* (where it can
+// originate, terminate, and interconnect traffic) is the given footprint,
+// but whose *conduit* is the whole physical graph: real networks lease
+// IRU capacity along entire cable systems, so their internal paths follow
+// physically shortest routes between their cities even when intermediate
+// landing points are not commercial PoPs of theirs. Modeling conduits as
+// footprint-induced subgraphs instead produces wildly inflated internal
+// geometry (a backbone missing one intermediate metro would detour across
+// an ocean), which no operator would accept.
+//
+// Networks that deliberately restrict their conduit — such as a content
+// provider's curated WAN — use NewNetwork with an explicit edge list.
+func NetworkFromCities(g *Graph, name string, cities []int, stretch float64) (*Network, error) {
+	if len(cities) == 0 {
+		return nil, fmt.Errorf("cable: network %q has empty footprint", name)
+	}
+	edgeIDs := make([]int, g.NumEdges())
+	for i := range edgeIDs {
+		edgeIDs[i] = i
+	}
+	n := NewNetwork(g, name, edgeIDs, stretch)
+	// Presence is the footprint, not "every city an edge touches".
+	for i := range n.present {
+		n.present[i] = false
+	}
+	for _, c := range cities {
+		if c < 0 || c >= len(n.present) {
+			return nil, fmt.Errorf("cable: network %q footprint city %d out of range", name, c)
+		}
+		n.present[c] = true
+	}
+	return n, nil
+}
+
+// Graph returns the underlying physical graph.
+func (n *Network) Graph() *Graph { return n.g }
+
+// Present reports whether the network has presence in the city.
+func (n *Network) Present(city int) bool {
+	return city >= 0 && city < len(n.present) && n.present[city]
+}
+
+// Cities returns the network's footprint in ascending city-ID order.
+func (n *Network) Cities() []int {
+	var out []int
+	for c, ok := range n.present {
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (n *Network) tree(src int) sstree {
+	if t, ok := n.cache[src]; ok {
+		return t
+	}
+	dist, prevEdge := n.g.shortest(src, func(e Edge) bool {
+		return e.ID < len(n.edgeOK) && n.edgeOK[e.ID]
+	})
+	t := sstree{dist, prevEdge}
+	n.cache[src] = t
+	return t
+}
+
+// Path returns the network's internal route between two footprint cities.
+// The returned kilometers include the operational stretch factor. ok is
+// false if either city is outside the footprint or unreachable within it.
+func (n *Network) Path(from, to int) (Path, bool) {
+	if !n.Present(from) || !n.Present(to) {
+		return Path{}, false
+	}
+	if from == to {
+		return Path{Cities: []int{from}}, true
+	}
+	t := n.tree(from)
+	if math.IsInf(t.dist[to], 1) {
+		return Path{}, false
+	}
+	var cities []int
+	for at := to; ; {
+		cities = append(cities, at)
+		if at == from {
+			break
+		}
+		at = n.g.edges[t.prevEdge[at]].Other(at)
+	}
+	for i, j := 0, len(cities)-1; i < j; i, j = i+1, j-1 {
+		cities[i], cities[j] = cities[j], cities[i]
+	}
+	return Path{Cities: cities, Km: t.dist[to] * n.Stretch}, true
+}
+
+// DistKm returns the network-internal distance between two footprint
+// cities, or +Inf when unreachable.
+func (n *Network) DistKm(from, to int) float64 {
+	p, ok := n.Path(from, to)
+	if !ok {
+		return math.Inf(1)
+	}
+	return p.Km
+}
+
+// NearestPresent returns the footprint city closest (by network distance)
+// to the given footprint city set origin; used for exit-policy decisions.
+// It returns -1 if none of the candidates is reachable.
+func (n *Network) NearestPresent(from int, candidates []int) int {
+	best, bestKm := -1, math.Inf(1)
+	for _, c := range candidates {
+		if d := n.DistKm(from, c); d < bestKm {
+			best, bestKm = c, d
+		}
+	}
+	return best
+}

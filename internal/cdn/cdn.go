@@ -1,0 +1,421 @@
+// Package cdn models the anycast CDN of the paper's §2.3.2/§3.2: a few
+// dozen front-end sites, each an independently connected stub network
+// announcing a shared anycast prefix, so BGP — not the operator — decides
+// which site a client reaches. Unicast routes to individual sites, DNS
+// redirection at LDNS granularity, and anycast grooming (prepending and
+// selective announcement) are built on top.
+//
+// Sites are modeled as separate ASes because that is what makes anycast
+// catchments interesting: each site's announcement competes in BGP, and a
+// transit network's decision process can steer a whole customer cone to a
+// distant site — the pathology behind Figure 3's tail.
+package cdn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/geo"
+	"beatbgp/internal/netpath"
+	"beatbgp/internal/netsim"
+	"beatbgp/internal/topology"
+	"beatbgp/internal/xrand"
+)
+
+// Config tunes CDN construction. Zero value gets defaults.
+type Config struct {
+	Seed uint64
+
+	// SitesPerRegion places front-ends at each region's biggest cities.
+	// The default gives 28 sites concentrated in North America and
+	// Europe, like the 2015 deployment the paper analyzed.
+	SitesPerRegion map[geo.Region]int
+
+	TransitsPerSite int     // Tier-1 transit contracts per site (default 2)
+	EyeballPeerProb float64 // peering probability with co-located eyeballs (default 0.6)
+	TransitPeerProb float64 // peering probability with co-located regional transits (default 0.7)
+	ServerMs        float64 // server processing time added to every request (default 0.5)
+	BaseASN         int     // first site ASN (default 65000)
+}
+
+func (c *Config) setDefaults() {
+	if c.SitesPerRegion == nil {
+		c.SitesPerRegion = map[geo.Region]int{
+			geo.NorthAmerica: 10,
+			geo.Europe:       9,
+			geo.Asia:         4,
+			geo.SouthAmerica: 2,
+			geo.MiddleEast:   1,
+			geo.Africa:       1,
+			geo.Oceania:      1,
+		}
+	}
+	if c.TransitsPerSite == 0 {
+		c.TransitsPerSite = 2
+	}
+	if c.EyeballPeerProb == 0 {
+		c.EyeballPeerProb = 0.6
+	}
+	if c.TransitPeerProb == 0 {
+		c.TransitPeerProb = 0.75
+	}
+	if c.ServerMs == 0 {
+		c.ServerMs = 0.5
+	}
+	if c.BaseASN == 0 {
+		c.BaseASN = 65000
+	}
+}
+
+// Site is one front-end location.
+type Site struct {
+	Index int
+	AS    *topology.AS
+	City  int
+}
+
+// CDN is a constructed anycast CDN.
+type CDN struct {
+	Topo     *topology.Topo
+	Sites    []Site
+	ServerMs float64
+
+	siteByAS   map[int]int
+	anycastRIB *bgp.RIB   // cache for ungroomed anycast
+	unicastRIB []*bgp.RIB // cache per site
+	resolver   *netpath.Resolver
+}
+
+// Build places the CDN's site ASes into the topology (mutating it).
+func Build(t *topology.Topo, cfg Config) (*CDN, error) {
+	cfg.setDefaults()
+	rng := xrand.New(cfg.Seed ^ 0xCD4)
+	c := &CDN{
+		Topo:     t,
+		ServerMs: cfg.ServerMs,
+		siteByAS: make(map[int]int),
+		resolver: netpath.NewResolver(t),
+	}
+	catalog := t.Catalog
+	asn := cfg.BaseASN
+	// The CDN signs global transit contracts: every site buys from the
+	// same few Tier-1s wherever they are present. This is what real CDNs
+	// do, and it is load-bearing for anycast quality: a carrier that
+	// serves most sites as customers hot-potatoes each flow to the
+	// nearest one, while scattered per-site contracts strand a carrier's
+	// whole cone on whichever remote site happens to be its customer.
+	t1s := t.ByClass(topology.Tier1)
+	var contracted []int
+	for _, idx := range rng.Perm(len(t1s)) {
+		if len(contracted) >= 3 {
+			break
+		}
+		contracted = append(contracted, t1s[idx])
+	}
+	for _, region := range geo.Regions() {
+		n := cfg.SitesPerRegion[region]
+		if n <= 0 {
+			continue
+		}
+		ids := catalog.InRegion(region)
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := catalog.City(ids[i]), catalog.City(ids[j])
+			if a.Pop != b.Pop {
+				return a.Pop > b.Pop
+			}
+			return ids[i] < ids[j]
+		})
+		if n > len(ids) {
+			n = len(ids)
+		}
+		for _, city := range ids[:n] {
+			as, err := t.AddAS(asn, fmt.Sprintf("FE-%s", catalog.City(city).Name),
+				topology.Content, region, []int{city}, 1.0, topology.EarlyExit)
+			if err != nil {
+				return nil, err
+			}
+			asn++
+			site := Site{Index: len(c.Sites), AS: as, City: city}
+			c.Sites = append(c.Sites, site)
+			c.siteByAS[as.ID] = site.Index
+
+			// Transit at the site city: the CDN's contracted Tier-1s when
+			// present, then other Tier-1s, then regional transits
+			// (smaller markets rarely host a Tier-1 PoP, and real CDN
+			// sites buy from whoever is in the building).
+			bought := 0
+			for _, t1 := range contracted {
+				if bought >= cfg.TransitsPerSite {
+					break
+				}
+				if !t.ASes[t1].Net.Present(city) {
+					continue
+				}
+				if _, err := t.Connect(as.ID, t1, topology.C2P, []int{city}, false); err != nil {
+					return nil, err
+				}
+				bought++
+			}
+			if bought < cfg.TransitsPerSite {
+				for _, idx := range rng.Perm(len(t1s)) {
+					if bought >= cfg.TransitsPerSite {
+						break
+					}
+					t1 := t1s[idx]
+					if !t.ASes[t1].Net.Present(city) || isContracted(contracted, t1) {
+						continue
+					}
+					if _, err := t.Connect(as.ID, t1, topology.C2P, []int{city}, false); err != nil {
+						return nil, err
+					}
+					bought++
+				}
+			}
+			if bought < cfg.TransitsPerSite {
+				trs := t.ByClass(topology.Transit)
+				for _, idx := range rng.Perm(len(trs)) {
+					if bought >= cfg.TransitsPerSite {
+						break
+					}
+					if !t.ASes[trs[idx]].Net.Present(city) {
+						continue
+					}
+					if _, err := t.Connect(as.ID, trs[idx], topology.C2P, []int{city}, false); err != nil {
+						return nil, err
+					}
+					bought++
+				}
+			}
+			if bought == 0 {
+				return nil, fmt.Errorf("cdn: site %s has no transit at %s", as.Name, catalog.City(city).Name)
+			}
+			// Peering with co-located regional transits and eyeballs.
+			for _, tr := range t.ByClass(topology.Transit) {
+				if t.ASes[tr].Net.Present(city) && rng.Bool(cfg.TransitPeerProb) {
+					if _, err := t.Connect(tr, as.ID, topology.P2P, []int{city}, false); err != nil {
+						return nil, err
+					}
+				}
+			}
+			for _, ey := range t.ByClass(topology.Eyeball) {
+				if t.ASes[ey].Net.Present(city) && rng.Bool(cfg.EyeballPeerProb) {
+					if _, err := t.Connect(ey, as.ID, topology.P2P, []int{city}, true); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if len(c.Sites) == 0 {
+		return nil, fmt.Errorf("cdn: no sites configured")
+	}
+	c.unicastRIB = make([]*bgp.RIB, len(c.Sites))
+	return c, nil
+}
+
+func isContracted(contracted []int, as int) bool {
+	for _, c := range contracted {
+		if c == as {
+			return true
+		}
+	}
+	return false
+}
+
+// Grooming describes manual anycast route optimization: per-site AS-path
+// prepending and per-site suppressed links. Site indices key both maps.
+type Grooming struct {
+	Prepend  map[int]int
+	Suppress map[int]map[int]bool
+}
+
+// Announcements returns the anycast announcement set under the grooming
+// (nil for the ungroomed default).
+func (c *CDN) Announcements(g *Grooming) []bgp.Announcement {
+	anns := make([]bgp.Announcement, len(c.Sites))
+	for i, s := range c.Sites {
+		anns[i] = bgp.Announcement{Origin: s.AS.ID}
+		if g != nil {
+			anns[i].Prepend = g.Prepend[i]
+			if sup := g.Suppress[i]; len(sup) > 0 {
+				anns[i].SuppressLinks = sup
+			}
+		}
+	}
+	return anns
+}
+
+// AnycastRIB computes (and for the ungroomed case caches) the anycast
+// routing state.
+func (c *CDN) AnycastRIB(g *Grooming) (*bgp.RIB, error) {
+	if g == nil && c.anycastRIB != nil {
+		return c.anycastRIB, nil
+	}
+	rib, err := bgp.Compute(c.Topo, c.Announcements(g))
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		c.anycastRIB = rib
+	}
+	return rib, nil
+}
+
+// UnicastRIB returns (cached) routing toward one site's unicast prefix.
+func (c *CDN) UnicastRIB(site int) (*bgp.RIB, error) {
+	if site < 0 || site >= len(c.Sites) {
+		return nil, fmt.Errorf("cdn: site %d out of range", site)
+	}
+	if c.unicastRIB[site] != nil {
+		return c.unicastRIB[site], nil
+	}
+	rib, err := bgp.Compute(c.Topo, []bgp.Announcement{{Origin: c.Sites[site].AS.ID}})
+	if err != nil {
+		return nil, err
+	}
+	c.unicastRIB[site] = rib
+	return rib, nil
+}
+
+// forwardRoute walks the forwarding chain from an AS/city with
+// per-ingress route re-selection at every hop: each AS on the path
+// re-runs the decision process anchored at the city where the traffic
+// actually enters it (hot potato at every network, not just the first).
+// This is what makes anycast behave per-client inside multi-city
+// intermediate networks. If re-selection would revisit an AS, the walk
+// falls back to the current route's remaining RIB path.
+func (c *CDN) forwardRoute(rib *bgp.RIB, asID, city int) (bgp.Route, error) {
+	t := c.Topo
+	out := bgp.Route{Valid: true, Path: []int{asID}}
+	visited := map[int]bool{asID: true}
+	cur, curCity := asID, city
+	for hop := 0; hop < 16; hop++ {
+		r := rib.BestFrom(cur, curCity)
+		if !r.Valid {
+			return bgp.Route{}, fmt.Errorf("cdn: AS %d has no route", cur)
+		}
+		if r.Src == bgp.SrcOrigin {
+			// cur originates the prefix; append any prepend padding.
+			out.Path = append(out.Path, r.Path[1:]...)
+			if hop == 0 {
+				out.Src = bgp.SrcOrigin
+				out.Link, out.NextHop = -1, -1
+			}
+			return out, nil
+		}
+		if hop == 0 {
+			out.Link, out.NextHop, out.Src = r.Link, r.NextHop, r.Src
+		}
+		if visited[r.NextHop] {
+			// Inconsistent per-ingress choices would loop; defer to the
+			// converged RIB path from here on.
+			out.Path = append(out.Path, r.Path[1:]...)
+			out.Links = append(out.Links, r.Links...)
+			return out, nil
+		}
+		out.Path = append(out.Path, r.NextHop)
+		out.Links = append(out.Links, r.Link)
+		visited[r.NextHop] = true
+		// The handoff city: cur early-exits toward the next AS at the
+		// interconnect nearest the traffic's ingress.
+		link := t.Links[r.Link]
+		bestCity, bestKm := -1, math.Inf(1)
+		for _, ic := range link.Cities {
+			if d := t.ASes[cur].Net.DistKm(curCity, ic); d < bestKm {
+				bestCity, bestKm = ic, d
+			}
+		}
+		if bestCity < 0 {
+			return bgp.Route{}, fmt.Errorf("cdn: AS %d cannot reach link %d from city %d", cur, r.Link, curCity)
+		}
+		cur, curCity = r.NextHop, bestCity
+	}
+	return bgp.Route{}, fmt.Errorf("cdn: forwarding chain too long from AS %d", asID)
+}
+
+// Catchment returns the site index that anycast (under the grooming)
+// steers the prefix's clients to, or an error when unreachable.
+func (c *CDN) Catchment(p topology.Prefix, g *Grooming) (int, error) {
+	rib, err := c.AnycastRIB(g)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.forwardRoute(rib, p.Origin, p.City)
+	if err != nil {
+		return 0, fmt.Errorf("cdn: prefix %d cannot reach the anycast prefix: %w", p.ID, err)
+	}
+	if !r.Valid {
+		return 0, fmt.Errorf("cdn: prefix %d cannot reach the anycast prefix", p.ID)
+	}
+	site, ok := c.siteByAS[r.Origin()]
+	if !ok {
+		return 0, fmt.Errorf("cdn: anycast route ends at non-site AS %d", r.Origin())
+	}
+	return site, nil
+}
+
+// UnicastRTT measures the prefix's latency to one specific site at time t
+// (request RTT: client -> site, plus server processing).
+func (c *CDN) UnicastRTT(sim *netsim.Sim, p topology.Prefix, site int, t float64) (float64, error) {
+	rib, err := c.UnicastRIB(site)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.forwardRoute(rib, p.Origin, p.City)
+	if err != nil {
+		return 0, fmt.Errorf("cdn: prefix %d cannot reach site %d: %w", p.ID, site, err)
+	}
+	phys, err := c.resolver.Resolve(r, p.City, c.Sites[site].City)
+	if err != nil {
+		return 0, err
+	}
+	return sim.RouteRTTMs(phys, p, t) + c.ServerMs, nil
+}
+
+// AnycastRTT measures the prefix's latency over the anycast prefix at
+// time t, returning the latency and the catchment site.
+func (c *CDN) AnycastRTT(sim *netsim.Sim, p topology.Prefix, g *Grooming, t float64) (float64, int, error) {
+	rib, err := c.AnycastRIB(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.RTTViaRIB(sim, rib, p, t)
+}
+
+// RTTViaRIB measures the prefix's anycast latency using a precomputed
+// anycast RIB — callers sweeping grooming configurations compute the RIB
+// once and reuse it across prefixes and times.
+func (c *CDN) RTTViaRIB(sim *netsim.Sim, rib *bgp.RIB, p topology.Prefix, t float64) (float64, int, error) {
+	r, err := c.forwardRoute(rib, p.Origin, p.City)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cdn: prefix %d cannot reach the anycast prefix: %w", p.ID, err)
+	}
+	site, ok := c.siteByAS[r.Origin()]
+	if !ok {
+		return 0, 0, fmt.Errorf("cdn: anycast route ends at non-site AS %d", r.Origin())
+	}
+	phys, err := c.resolver.Resolve(r, p.City, c.Sites[site].City)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sim.RouteRTTMs(phys, p, t) + c.ServerMs, site, nil
+}
+
+// NearestSites returns the k sites geodesically closest to the prefix's
+// anchor city, nearest first.
+func (c *CDN) NearestSites(p topology.Prefix, k int) []int {
+	return c.NearestSitesToCity(p.City, k)
+}
+
+// SiteDistanceKm returns the geodesic distance from the prefix's anchor
+// city to the rank-th nearest site (rank 0 = nearest).
+func (c *CDN) SiteDistanceKm(p topology.Prefix, rank int) float64 {
+	sites := c.NearestSites(p, rank+1)
+	if rank >= len(sites) {
+		return math.Inf(1)
+	}
+	return geo.DistanceKm(c.Topo.Catalog.City(p.City).Loc,
+		c.Topo.Catalog.City(c.Sites[sites[rank]].City).Loc)
+}

@@ -1,0 +1,85 @@
+package cdn
+
+import (
+	"testing"
+)
+
+// TestForwardRouteConsistency checks the per-hop forwarding walk on every
+// prefix: the synthetic route must be loop-free-enough to resolve, end at
+// a site, and never use a suppressed or nonexistent link.
+func TestForwardRouteConsistency(t *testing.T) {
+	topo, c := build(t, 51)
+	rib, err := c.AnycastRIB(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := 0
+	for _, p := range topo.Prefixes {
+		r, err := c.forwardRoute(rib, p.Origin, p.City)
+		if err != nil {
+			continue
+		}
+		if !r.Valid {
+			t.Fatal("forwardRoute returned an invalid route without error")
+		}
+		if _, ok := c.siteByAS[r.Origin()]; !ok {
+			t.Fatalf("forward walk ended at non-site AS %d", r.Origin())
+		}
+		// Path/link arity must satisfy the resolver's contract.
+		distinct := 1
+		for i := 1; i < len(r.Path); i++ {
+			if r.Path[i] != r.Path[i-1] {
+				distinct++
+			}
+		}
+		if len(r.Links) != distinct-1 {
+			t.Fatalf("links/path arity broken: %d links for %d transitions", len(r.Links), distinct-1)
+		}
+		// Each link must actually join the adjacent ASes.
+		idx := 0
+		for i := 1; i < len(r.Path); i++ {
+			if r.Path[i] == r.Path[i-1] {
+				continue
+			}
+			l := topo.Links[r.Links[idx]]
+			if !(l.A == r.Path[i-1] && l.B == r.Path[i]) && !(l.B == r.Path[i-1] && l.A == r.Path[i]) {
+				t.Fatalf("link %d does not join %d-%d", r.Links[idx], r.Path[i-1], r.Path[i])
+			}
+			idx++
+		}
+		// And the whole thing must resolve physically.
+		site := c.siteByAS[r.Origin()]
+		if _, err := c.resolver.Resolve(r, p.City, c.Sites[site].City); err != nil {
+			t.Fatalf("forward route does not resolve: %v", err)
+		}
+		resolved++
+	}
+	if resolved < len(topo.Prefixes)*8/10 {
+		t.Fatalf("only %d/%d prefixes resolved", resolved, len(topo.Prefixes))
+	}
+}
+
+// TestForwardRouteRespectsGroomingSuppression: a site that withdraws from
+// its transit links must not be reached over them by the per-hop walk.
+func TestForwardRouteRespectsGroomingSuppression(t *testing.T) {
+	topo, c := build(t, 53)
+	target := 0
+	suppress := map[int]bool{}
+	for _, nb := range topo.Neighbors(c.Sites[target].AS.ID) {
+		suppress[nb.Link] = true // withdraw from everyone
+	}
+	g := &Grooming{Suppress: map[int]map[int]bool{target: suppress}}
+	rib, err := c.AnycastRIB(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range topo.Prefixes {
+		r, err := c.forwardRoute(rib, p.Origin, p.City)
+		if err != nil {
+			continue
+		}
+		if r.Origin() == c.Sites[target].AS.ID {
+			t.Fatalf("prefix %d still caught by a fully withdrawn site", p.ID)
+		}
+	}
+}

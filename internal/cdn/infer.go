@@ -1,0 +1,105 @@
+package cdn
+
+import (
+	"fmt"
+	"math"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/geo"
+	"beatbgp/internal/topology"
+)
+
+// Catchment inference (Sermpezis & Kotronis, POMACS 2019 — the paper's
+// ref [26]): predicting which site anycast will deliver a client to,
+// WITHOUT running routing. Operators want this when planning builds
+// ("how well can the impact of adding a site be predicted?", §3.2.2).
+// Three predictors of increasing sophistication are provided; the xinfer
+// experiment scores them against the simulated ground truth.
+
+// PredictNearest guesses the geodesically nearest site — the planner's
+// naive first cut.
+func (c *CDN) PredictNearest(p topology.Prefix) int {
+	return c.NearestSites(p, 1)[0]
+}
+
+// PredictASHops guesses the site with the fewest AS-level hops from the
+// client's network, breaking ties by distance. It sees the AS graph (a
+// public dataset in reality) but not the decision process.
+func (c *CDN) PredictASHops(p topology.Prefix) int {
+	dist := c.asHopsFrom(p.Origin)
+	best, bestHops, bestKm := 0, math.MaxInt, math.Inf(1)
+	loc := c.Topo.Catalog.City(p.City).Loc
+	for i, site := range c.Sites {
+		h, ok := dist[site.AS.ID]
+		if !ok {
+			continue
+		}
+		km := geo.DistanceKm(loc, c.Topo.Catalog.City(site.City).Loc)
+		if h < bestHops || (h == bestHops && km < bestKm) {
+			best, bestHops, bestKm = i, h, km
+		}
+	}
+	return best
+}
+
+// PredictPerSiteSim is the strongest practical predictor: simulate
+// routing toward each site separately (planners can do this on public
+// topology and relationship data) and guess that anycast delivers the
+// client to the site whose unicast route wins the coarse decision
+// process — local preference, then AS-path length, then distance. What
+// it cannot see is the multi-origin interaction: per-ingress tie-breaks
+// and intermediate-AS hot potato under competition.
+func (c *CDN) PredictPerSiteSim(p topology.Prefix) (int, error) {
+	best := -1
+	var bestSrc bgp.Source
+	bestLen, bestKm := math.MaxInt, math.Inf(1)
+	loc := c.Topo.Catalog.City(p.City).Loc
+	for i, site := range c.Sites {
+		rib, err := c.UnicastRIB(i)
+		if err != nil {
+			return 0, err
+		}
+		r := rib.Best(p.Origin)
+		if !r.Valid {
+			continue
+		}
+		km := geo.DistanceKm(loc, c.Topo.Catalog.City(site.City).Loc)
+		better := false
+		switch {
+		case best < 0:
+			better = true
+		case r.Src != bestSrc:
+			better = r.Src < bestSrc
+		case r.PathLen() != bestLen:
+			better = r.PathLen() < bestLen
+		default:
+			better = km < bestKm
+		}
+		if better {
+			best, bestSrc, bestLen, bestKm = i, r.Src, r.PathLen(), km
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("cdn: no site reachable from prefix %d", p.ID)
+	}
+	return best, nil
+}
+
+// asHopsFrom returns undirected AS-hop distances from the origin over the
+// business-relationship graph — the public-topology view a planner has.
+func (c *CDN) asHopsFrom(origin int) map[int]int {
+	dist := map[int]int{origin: 0}
+	queue := []int{origin}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range c.Topo.Neighbors(cur) {
+			if _, seen := dist[nb.Other]; seen {
+				continue
+			}
+			dist[nb.Other] = dist[cur] + 1
+			queue = append(queue, nb.Other)
+		}
+	}
+	return dist
+}

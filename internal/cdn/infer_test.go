@@ -1,0 +1,89 @@
+package cdn
+
+import (
+	"testing"
+
+	"beatbgp/internal/geo"
+	"beatbgp/internal/topology"
+)
+
+func TestPredictNearest(t *testing.T) {
+	topo, c := build(t, 41)
+	for _, p := range topo.Prefixes[:30] {
+		guess := c.PredictNearest(p)
+		loc := topo.Catalog.City(p.City).Loc
+		d := geo.DistanceKm(loc, topo.Catalog.City(c.Sites[guess].City).Loc)
+		for i := range c.Sites {
+			if od := geo.DistanceKm(loc, topo.Catalog.City(c.Sites[i].City).Loc); od < d-1e-9 {
+				t.Fatalf("site %d closer than predicted nearest", i)
+			}
+		}
+	}
+}
+
+func TestPredictASHopsValid(t *testing.T) {
+	topo, c := build(t, 43)
+	for _, p := range topo.Prefixes[:30] {
+		guess := c.PredictASHops(p)
+		if guess < 0 || guess >= len(c.Sites) {
+			t.Fatalf("prediction %d out of range", guess)
+		}
+	}
+}
+
+func TestPredictPerSiteSim(t *testing.T) {
+	topo, c := build(t, 45)
+	exactSim, exactNear, n := 0, 0, 0
+	for _, p := range topo.Prefixes {
+		actual, err := c.Catchment(p, nil)
+		if err != nil {
+			continue
+		}
+		sim, err := c.PredictPerSiteSim(p)
+		if err != nil {
+			t.Fatalf("per-site sim: %v", err)
+		}
+		if sim < 0 || sim >= len(c.Sites) {
+			t.Fatalf("prediction %d out of range", sim)
+		}
+		n++
+		if sim == actual {
+			exactSim++
+		}
+		if c.PredictNearest(p) == actual {
+			exactNear++
+		}
+	}
+	if n < 50 {
+		t.Fatalf("only %d prefixes evaluated", n)
+	}
+	// The routing-aware predictor must not lose to pure geography.
+	if exactSim < exactNear {
+		t.Fatalf("per-site simulation (%d/%d) worse than nearest-site (%d/%d)",
+			exactSim, n, exactNear, n)
+	}
+}
+
+func TestASHopsFromBFS(t *testing.T) {
+	topo, c := build(t, 47)
+	origin := topo.ByClass(topology.Eyeball)[0]
+	dist := c.asHopsFrom(origin)
+	if dist[origin] != 0 {
+		t.Fatal("origin distance must be 0")
+	}
+	// Every direct neighbor is at hop 1.
+	for _, nb := range topo.Neighbors(origin) {
+		if dist[nb.Other] != 1 {
+			t.Fatalf("neighbor %d at distance %d", nb.Other, dist[nb.Other])
+		}
+	}
+	// Triangle inequality over the BFS tree: no node's distance exceeds a
+	// neighbor's by more than 1.
+	for as, d := range dist {
+		for _, nb := range topo.Neighbors(as) {
+			if od, ok := dist[nb.Other]; ok && d > od+1 {
+				t.Fatalf("BFS distances inconsistent: %d vs %d", d, od)
+			}
+		}
+	}
+}

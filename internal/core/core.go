@@ -1,0 +1,200 @@
+// Package core is the paper's contribution as code: the three studies of
+// §3 (performance-aware egress at a PoP, anycast vs DNS redirection, and
+// private WAN vs public Internet), the in-text statistics around them,
+// and the open-question experiments of §3.1.3, §3.2.2, §3.3.2 and §4.
+// Every experiment emits stats.Series/stats.Table values that regenerate
+// the corresponding figure or table of the paper on the simulated
+// substrate.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/cdn"
+	"beatbgp/internal/dnsmap"
+	"beatbgp/internal/netpath"
+	"beatbgp/internal/netsim"
+	"beatbgp/internal/provider"
+	"beatbgp/internal/stats"
+	"beatbgp/internal/topology"
+	"beatbgp/internal/workload"
+)
+
+// Config assembles a complete scenario. The zero value (with a seed) is a
+// sensible laptop-scale default.
+type Config struct {
+	Seed     uint64
+	Topology topology.GenConfig
+	Provider provider.Config
+	CDN      cdn.Config
+	DNS      dnsmap.Config
+	Net      netsim.Config
+	Workload workload.Config
+}
+
+func (c *Config) setDefaults() {
+	if c.Topology.Seed == 0 {
+		c.Topology.Seed = c.Seed
+	}
+	if c.Provider.Seed == 0 {
+		c.Provider.Seed = c.Seed + 1
+	}
+	if c.CDN.Seed == 0 {
+		c.CDN.Seed = c.Seed + 2
+	}
+	if c.DNS.Seed == 0 {
+		c.DNS.Seed = c.Seed + 3
+	}
+	if c.Net.Seed == 0 {
+		c.Net.Seed = c.Seed + 4
+	}
+	if c.Workload.Seed == 0 {
+		c.Workload.Seed = c.Seed + 5
+	}
+	if c.Net.HorizonMinutes == 0 {
+		// Cover the 10-day Edge Fabric trace and the (time-compressed)
+		// cloud-tier campaign with slack.
+		c.Net.HorizonMinutes = 40 * 24 * 60
+	}
+}
+
+// Scenario is a fully built simulation world shared by the experiments.
+type Scenario struct {
+	Cfg    Config
+	Topo   *topology.Topo
+	Prov   *provider.Provider
+	CDN    *cdn.CDN
+	DNS    *dnsmap.Mapping
+	Sim    *netsim.Sim
+	Oracle *bgp.Oracle
+	Res    *netpath.Resolver
+	Gen    *workload.Generator
+
+	traces []workload.Trace // lazily built Edge-Fabric trace (see efTraces)
+	tier   *tierState       // lazily built cloud-tier state (see tiers)
+}
+
+// NewScenario builds the world: topology, content provider (with WAN and
+// peering), anycast CDN sites, resolver population, and the congestion
+// simulator.
+func NewScenario(cfg Config) (*Scenario, error) {
+	cfg.setDefaults()
+	topo, err := topology.Generate(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("core: topology: %w", err)
+	}
+	prov, err := provider.Build(topo, cfg.Provider)
+	if err != nil {
+		return nil, fmt.Errorf("core: provider: %w", err)
+	}
+	cd, err := cdn.Build(topo, cfg.CDN)
+	if err != nil {
+		return nil, fmt.Errorf("core: cdn: %w", err)
+	}
+	dns := dnsmap.Build(topo, cfg.DNS)
+	sim := netsim.New(topo, cfg.Net)
+	res := netpath.NewResolver(topo)
+	return &Scenario{
+		Cfg:    cfg,
+		Topo:   topo,
+		Prov:   prov,
+		CDN:    cd,
+		DNS:    dns,
+		Sim:    sim,
+		Oracle: bgp.NewOracle(topo),
+		Res:    res,
+		Gen:    workload.NewGenerator(sim, res, cfg.Workload),
+	}, nil
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Series []stats.Series
+	Tables []stats.Table
+	Notes  []string
+}
+
+// Render formats the result as text.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.Render())
+	}
+	for _, s := range r.Series {
+		b.WriteString(s.Render())
+	}
+	return b.String()
+}
+
+// Experiment is a runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Scenario) (Result, error)
+}
+
+// Experiments returns the full registry in the order of the paper.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "CDF of median MinRTT difference, BGP minus best alternate (Figure 1)", Figure1},
+		{"fig2", "Peer vs transit and private vs public peering differences (Figure 2)", Figure2},
+		{"t31", "§3.1 in-text: improvable traffic share and client-PoP distances", TableS31},
+		{"t311", "§3.1.1: degradations vs improvement windows; persistence of winners", TableS311},
+		{"fig3", "CCDF of anycast minus best unicast per request (Figure 3)", Figure3},
+		{"t32", "§2.3.2 in-text: distance to nth nearest front-end", TableS32},
+		{"fig4", "CDF of improvement from LDNS-grade DNS redirection (Figure 4)", Figure4},
+		{"fig5", "Per-country median Standard minus Premium latency (Figure 5)", Figure5},
+		{"t33", "§3.3 in-text: ingress distance by tier; India case study", TableS33},
+		{"t4g", "§4 footnote: 10 MB goodput, Premium vs Standard", TableGoodput},
+		{"xpeer", "§3.1.3 open question: reduced peering footprint", PeeringReduction},
+		{"xgroom", "§3.2.2 open question: anycast grooming, nature vs nurture", GroomingStudy},
+		{"xwan", "§3.3.2 open question: single-WAN behavior of public routes", SingleWANStudy},
+		{"xsplit", "§4: split TCP with WAN vs public backend", SplitTCPStudy},
+		{"xavail", "§4: availability under failures and peer fragility", AvailabilityStudy},
+		{"xcap", "Edge Fabric's day job: capacity-driven egress overrides", CapacityStudy},
+		{"xdyn", "§4: site outages — anycast failover vs DNS caching", SiteOutageStudy},
+		{"xhybrid", "§4: hybrid anycast + DNS redirection policies", HybridStudy},
+		{"xodin", "Odin-style measurement pipeline: budget vs prediction quality", OdinStudy},
+		{"xsites", "§3.2.2: CDN build-out — how many sites are enough?", SiteDensityStudy},
+		{"xinfer", "§3.2.2 / ref [26]: predicting catchments from public data", CatchmentInference},
+		{"xcorridor", "What-if: the WAN leases the Europe-Asia corridor", CorridorStudy},
+		{"xqoe", "§4: the improvable slice in sessions and engagement terms", QoEStudy},
+		{"afate", "Ablation: shared-fate congestion disabled", AblationSharedFate},
+		{"aecs", "Ablation: oracle-granularity DNS redirection", AblationECS},
+		{"apni", "Ablation: PNIs as impairment-prone as public links", AblationPNI},
+	}
+}
+
+// RunByID runs one experiment by its registry ID.
+func RunByID(s *Scenario, id string) (Result, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(s)
+		}
+	}
+	return Result{}, fmt.Errorf("core: unknown experiment %q", id)
+}
+
+// countryOf returns the ISO country of a city.
+func (s *Scenario) countryOf(city int) string {
+	return s.Topo.Catalog.City(city).Country
+}
+
+// sortedCountries returns table rows in stable order.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

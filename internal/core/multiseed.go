@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"beatbgp/internal/stats"
+)
+
+// RunSeeds runs one experiment across several seeds (each in a freshly
+// generated world) and aggregates every table cell into mean/min/max —
+// the robustness check that separates a finding from a lucky draw. Series
+// are not aggregated; rerun a single seed for plottable lines.
+func RunSeeds(base Config, id string, seeds []uint64) (Result, error) {
+	if len(seeds) == 0 {
+		return Result{}, fmt.Errorf("core: no seeds")
+	}
+	type cellKey struct {
+		table, row, col string
+	}
+	vals := make(map[cellKey]*stats.Dist)
+	var proto Result
+	for i, seed := range seeds {
+		cfg := base
+		cfg.Seed = seed
+		// Derived seeds must be recomputed per run.
+		cfg.Topology.Seed, cfg.Provider.Seed, cfg.CDN.Seed = 0, 0, 0
+		cfg.DNS.Seed, cfg.Net.Seed, cfg.Workload.Seed = 0, 0, 0
+		s, err := NewScenario(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: seed %d: %w", seed, err)
+		}
+		r, err := RunByID(s, id)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: seed %d: %w", seed, err)
+		}
+		if i == 0 {
+			proto = r
+		}
+		for _, tb := range r.Tables {
+			for _, row := range tb.Rows {
+				for ci, col := range tb.Columns {
+					k := cellKey{tb.Name, row.Label, col}
+					if vals[k] == nil {
+						vals[k] = &stats.Dist{}
+					}
+					vals[k].Add(row.Cells[ci], 1)
+				}
+			}
+		}
+	}
+	out := Result{
+		ID:    id + "@seeds",
+		Title: fmt.Sprintf("%s across %d seeds", proto.Title, len(seeds)),
+		Notes: append([]string(nil), proto.Notes...),
+	}
+	out.Notes = append(out.Notes,
+		fmt.Sprintf("cells aggregated over seeds %v; rows absent in some seeds are averaged over the seeds that produced them", seeds))
+	for _, tb := range proto.Tables {
+		agg := stats.Table{Name: tb.Name + " (mean/min/max)"}
+		for _, col := range tb.Columns {
+			agg.Columns = append(agg.Columns, col+"_mean", col+"_min", col+"_max")
+		}
+		for _, row := range tb.Rows {
+			cells := make([]float64, 0, len(tb.Columns)*3)
+			for _, col := range tb.Columns {
+				d := vals[cellKey{tb.Name, row.Label, col}]
+				cells = append(cells, d.Mean(), d.Min(), d.Max())
+			}
+			agg.Rows = append(agg.Rows, stats.Row{Label: row.Label, Cells: cells})
+		}
+		out.Tables = append(out.Tables, agg)
+	}
+	return out, nil
+}

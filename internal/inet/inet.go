@@ -1,0 +1,144 @@
+// Package inet provides the IPv4 addressing layer: CIDR prefixes, a
+// longest-prefix-match table (binary radix trie), and a deterministic
+// block allocator. The paper's datasets are keyed by client prefixes and
+// /24s; this package gives the simulator's prefixes real address blocks
+// so tools can speak in the same terms (and so lookups behave like a
+// FIB, not a map).
+package inet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IPv4 CIDR block.
+type Prefix struct {
+	Addr uint32 // network address, host bits zero
+	Bits int    // prefix length, 0..32
+}
+
+// Mask returns the prefix's netmask as a uint32.
+func (p Prefix) Mask() uint32 {
+	if p.Bits <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - p.Bits)
+}
+
+// Contains reports whether the address falls inside the prefix.
+func (p Prefix) Contains(addr uint32) bool {
+	return addr&p.Mask() == p.Addr
+}
+
+// ContainsPrefix reports whether q is fully inside p.
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return q.Bits >= p.Bits && p.Contains(q.Addr)
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.ContainsPrefix(q) || q.ContainsPrefix(p)
+}
+
+// NumAddrs returns the number of addresses in the prefix.
+func (p Prefix) NumAddrs() uint64 {
+	return 1 << (32 - p.Bits)
+}
+
+// Nth returns the nth address inside the prefix (0 = network address).
+// It panics if n is out of range — callers size by NumAddrs.
+func (p Prefix) Nth(n uint64) uint32 {
+	if n >= p.NumAddrs() {
+		panic(fmt.Sprintf("inet: address %d out of range for %v", n, p))
+	}
+	return p.Addr + uint32(n)
+}
+
+// String formats the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", FormatAddr(p.Addr), p.Bits)
+}
+
+// FormatAddr renders a uint32 as dotted-quad.
+func FormatAddr(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("inet: bad address %q", s)
+	}
+	var a uint32
+	for _, part := range parts {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 || v > 255 || (len(part) > 1 && part[0] == '0') {
+			return 0, fmt.Errorf("inet: bad address %q", s)
+		}
+		a = a<<8 | uint32(v)
+	}
+	return a, nil
+}
+
+// ParsePrefix parses CIDR notation. The address must be the canonical
+// network address (host bits zero).
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("inet: missing prefix length in %q", s)
+	}
+	addr, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("inet: bad prefix length in %q", s)
+	}
+	p := Prefix{Addr: addr, Bits: bits}
+	if addr&^p.Mask() != 0 {
+		return Prefix{}, fmt.Errorf("inet: %q has host bits set", s)
+	}
+	return p, nil
+}
+
+// MustParsePrefix is ParsePrefix for constants; it panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Allocator hands out consecutive equal-sized blocks from a root prefix.
+type Allocator struct {
+	root Prefix
+	next uint64
+}
+
+// NewAllocator returns an allocator carving the root prefix.
+func NewAllocator(root Prefix) *Allocator {
+	return &Allocator{root: root}
+}
+
+// Alloc returns the next free block of the given length, or an error when
+// the root is exhausted. Blocks are never reused.
+func (a *Allocator) Alloc(bits int) (Prefix, error) {
+	if bits < a.root.Bits || bits > 32 {
+		return Prefix{}, fmt.Errorf("inet: cannot carve /%d from %v", bits, a.root)
+	}
+	size := uint64(1) << (32 - bits)
+	// Align the cursor to the block size.
+	if rem := a.next % size; rem != 0 {
+		a.next += size - rem
+	}
+	if a.next+size > a.root.NumAddrs() {
+		return Prefix{}, fmt.Errorf("inet: %v exhausted", a.root)
+	}
+	p := Prefix{Addr: a.root.Addr + uint32(a.next), Bits: bits}
+	a.next += size
+	return p, nil
+}

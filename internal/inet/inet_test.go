@@ -1,0 +1,289 @@
+package inet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	cases := []string{"0.0.0.0", "10.1.2.3", "255.255.255.255", "192.168.0.1"}
+	for _, c := range cases {
+		a, err := ParseAddr(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if FormatAddr(a) != c {
+			t.Fatalf("round trip %s -> %s", c, FormatAddr(a))
+		}
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.0", "01.2.3.4", "a.b.c.d", "-1.0.0.0"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "10.0.0.0/8" || p.NumAddrs() != 1<<24 {
+		t.Fatalf("bad parse: %v", p)
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.1/8", "10.0.0.0/33", "10.0.0.0/-1", "x/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if MustParsePrefix("0.0.0.0/0").Bits != 0 {
+		t.Fatal("default route parse")
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	in, _ := ParseAddr("10.1.200.3")
+	out, _ := ParseAddr("10.2.0.0")
+	if !p.Contains(in) || p.Contains(out) {
+		t.Fatal("Contains wrong")
+	}
+	if !p.ContainsPrefix(MustParsePrefix("10.1.2.0/24")) {
+		t.Fatal("nested prefix not contained")
+	}
+	if p.ContainsPrefix(MustParsePrefix("10.0.0.0/8")) {
+		t.Fatal("supernet reported as contained")
+	}
+	if !p.Overlaps(MustParsePrefix("10.0.0.0/8")) {
+		t.Fatal("overlap with supernet missed")
+	}
+	if p.Overlaps(MustParsePrefix("11.0.0.0/8")) {
+		t.Fatal("false overlap")
+	}
+}
+
+func TestNth(t *testing.T) {
+	p := MustParsePrefix("10.1.2.0/24")
+	if FormatAddr(p.Nth(0)) != "10.1.2.0" || FormatAddr(p.Nth(255)) != "10.1.2.255" {
+		t.Fatal("Nth wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Nth should panic")
+		}
+	}()
+	p.Nth(256)
+}
+
+func TestAllocator(t *testing.T) {
+	a := NewAllocator(MustParsePrefix("10.0.0.0/8"))
+	p1, err := a.Alloc(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != "10.0.0.0/20" || p2.String() != "10.0.16.0/20" {
+		t.Fatalf("sequential allocation wrong: %v %v", p1, p2)
+	}
+	if p1.Overlaps(p2) {
+		t.Fatal("allocated blocks overlap")
+	}
+	// Mixed sizes stay aligned and disjoint.
+	p3, err := a.Alloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := a.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]Prefix{{p1, p3}, {p2, p3}, {p3, p4}, {p1, p4}, {p2, p4}} {
+		if pair[0].Overlaps(pair[1]) {
+			t.Fatalf("%v overlaps %v", pair[0], pair[1])
+		}
+	}
+	if p4.Addr&^p4.Mask() != 0 {
+		t.Fatal("allocation not aligned")
+	}
+	// Exhaustion.
+	small := NewAllocator(MustParsePrefix("192.168.0.0/24"))
+	if _, err := small.Alloc(25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Alloc(25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Alloc(25); err == nil {
+		t.Fatal("exhausted allocator kept allocating")
+	}
+	if _, err := small.Alloc(8); err == nil {
+		t.Fatal("carving a supernet accepted")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	var tb Table[string]
+	tb.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tb.Insert(MustParsePrefix("10.0.0.0/8"), "ten")
+	tb.Insert(MustParsePrefix("10.1.0.0/16"), "ten-one")
+	if tb.Len() != 3 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	lookup := func(s string) string {
+		a, _ := ParseAddr(s)
+		v, ok := tb.Lookup(a)
+		if !ok {
+			t.Fatalf("no route for %s", s)
+		}
+		return v
+	}
+	if lookup("10.1.2.3") != "ten-one" {
+		t.Fatal("LPM should pick the /16")
+	}
+	if lookup("10.9.0.1") != "ten" {
+		t.Fatal("LPM should pick the /8")
+	}
+	if lookup("8.8.8.8") != "default" {
+		t.Fatal("LPM should fall to default")
+	}
+	if v, ok := tb.LookupPrefix(MustParsePrefix("10.0.0.0/8")); !ok || v != "ten" {
+		t.Fatal("exact lookup failed")
+	}
+	if _, ok := tb.LookupPrefix(MustParsePrefix("10.0.0.0/9")); ok {
+		t.Fatal("phantom exact match")
+	}
+	// Replace does not grow.
+	tb.Insert(MustParsePrefix("10.0.0.0/8"), "TEN")
+	if tb.Len() != 3 {
+		t.Fatal("replace changed size")
+	}
+	if lookup("10.9.0.1") != "TEN" {
+		t.Fatal("replace did not take")
+	}
+}
+
+func TestTableDelete(t *testing.T) {
+	var tb Table[int]
+	p8 := MustParsePrefix("10.0.0.0/8")
+	p16 := MustParsePrefix("10.1.0.0/16")
+	tb.Insert(p8, 8)
+	tb.Insert(p16, 16)
+	if !tb.Delete(p16) || tb.Len() != 1 {
+		t.Fatal("delete failed")
+	}
+	if tb.Delete(p16) {
+		t.Fatal("double delete succeeded")
+	}
+	a, _ := ParseAddr("10.1.2.3")
+	if v, _ := tb.Lookup(a); v != 8 {
+		t.Fatal("lookup after delete should fall to /8")
+	}
+	if !tb.Delete(p8) || tb.Len() != 0 {
+		t.Fatal("final delete failed")
+	}
+	if _, ok := tb.Lookup(a); ok {
+		t.Fatal("empty table resolved an address")
+	}
+	var empty Table[int]
+	if empty.Delete(p8) {
+		t.Fatal("delete on empty table succeeded")
+	}
+}
+
+func TestTableWalkOrdered(t *testing.T) {
+	var tb Table[int]
+	for i, s := range []string{"10.2.0.0/16", "10.0.0.0/8", "192.168.1.0/24", "0.0.0.0/0"} {
+		tb.Insert(MustParsePrefix(s), i)
+	}
+	var got []Prefix
+	tb.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 4 {
+		t.Fatalf("walk visited %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.Addr > b.Addr || (a.Addr == b.Addr && a.Bits > b.Bits) {
+			t.Fatalf("walk out of order: %v before %v", a, b)
+		}
+	}
+	// Early stop.
+	count := 0
+	tb.Walk(func(Prefix, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("walk did not stop early: %d", count)
+	}
+}
+
+// TestTableAgainstBruteForce is the property test: LPM over a random rule
+// set must agree with a linear scan.
+func TestTableAgainstBruteForce(t *testing.T) {
+	f := func(seeds []uint32, probes []uint32) bool {
+		var tb Table[int]
+		type rule struct {
+			p Prefix
+			v int
+		}
+		var rules []rule
+		for i, s := range seeds {
+			p := Prefix{Bits: int(s % 33)}
+			p.Addr = s & p.Mask()
+			tb.Insert(p, i)
+			// Later inserts replace earlier identical prefixes, as in the
+			// table; mirror that in the rule list.
+			replaced := false
+			for j := range rules {
+				if rules[j].p == p {
+					rules[j].v = i
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				rules = append(rules, rule{p, i})
+			}
+		}
+		for _, a := range probes {
+			bestBits, bestV, found := -1, 0, false
+			for _, r := range rules {
+				if r.p.Contains(a) && r.p.Bits > bestBits {
+					bestBits, bestV, found = r.p.Bits, r.v, true
+				}
+			}
+			v, ok := tb.Lookup(a)
+			if ok != found || (ok && v != bestV) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	var tb Table[int]
+	alloc := NewAllocator(MustParsePrefix("10.0.0.0/8"))
+	for i := 0; i < 4096; i++ {
+		p, err := alloc.Alloc(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.Insert(p, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tb.Lookup(uint32(0x0A000000 + i*977)); !ok && i%4096 < 4096 {
+			_ = ok
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package inet
+
+// Table is a longest-prefix-match table over IPv4 prefixes — a FIB. It is
+// a binary radix (path-uncompressed) trie: simple, allocation-light, and
+// fast enough for the simulator's table sizes. The zero value is an empty
+// table ready for use.
+type Table[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// Len returns the number of installed prefixes.
+func (t *Table[V]) Len() int { return t.size }
+
+func bit(addr uint32, i int) int {
+	return int(addr>>(31-i)) & 1
+}
+
+// Insert installs (or replaces) the value for a prefix.
+func (t *Table[V]) Insert(p Prefix, v V) {
+	if t.root == nil {
+		t.root = &node[V]{}
+	}
+	n := t.root
+	for i := 0; i < p.Bits; i++ {
+		b := bit(p.Addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// Lookup returns the value of the longest installed prefix containing the
+// address.
+func (t *Table[V]) Lookup(addr uint32) (V, bool) {
+	var best V
+	found := false
+	n := t.root
+	for i := 0; n != nil; i++ {
+		if n.set {
+			best, found = n.val, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[bit(addr, i)]
+	}
+	return best, found
+}
+
+// LookupPrefix returns the value installed for exactly this prefix.
+func (t *Table[V]) LookupPrefix(p Prefix) (V, bool) {
+	n := t.root
+	for i := 0; i < p.Bits && n != nil; i++ {
+		n = n.child[bit(p.Addr, i)]
+	}
+	if n == nil || !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes a prefix; it reports whether the prefix was installed.
+// Emptied trie branches are pruned.
+func (t *Table[V]) Delete(p Prefix) bool {
+	var path [33]*node[V]
+	n := t.root
+	if n == nil {
+		return false
+	}
+	path[0] = n
+	for i := 0; i < p.Bits; i++ {
+		n = n.child[bit(p.Addr, i)]
+		if n == nil {
+			return false
+		}
+		path[i+1] = n
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	// Prune childless, valueless nodes bottom-up.
+	for i := p.Bits; i > 0; i-- {
+		cur := path[i]
+		if cur.set || cur.child[0] != nil || cur.child[1] != nil {
+			break
+		}
+		path[i-1].child[bit(p.Addr, i-1)] = nil
+	}
+	return true
+}
+
+// Walk visits every installed prefix in address order (shorter prefixes
+// before longer ones at the same address). Returning false stops the walk.
+func (t *Table[V]) Walk(fn func(p Prefix, v V) bool) {
+	var walk func(n *node[V], addr uint32, depth int) bool
+	walk = func(n *node[V], addr uint32, depth int) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			if !fn(Prefix{Addr: addr, Bits: depth}, n.val) {
+				return false
+			}
+		}
+		if depth == 32 {
+			return true
+		}
+		if !walk(n.child[0], addr, depth+1) {
+			return false
+		}
+		return walk(n.child[1], addr|(1<<(31-depth)), depth+1)
+	}
+	walk(t.root, 0, 0)
+}

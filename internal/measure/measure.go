@@ -1,0 +1,183 @@
+// Package measure emulates a global measurement platform in the style of
+// Speedchecker or RIPE Atlas (§3.3): vantage points identified by
+// ⟨City, AS⟩ inside eyeball networks, a credit budget, ping and traceroute
+// primitives evaluated against the simulated network, deterministic daily
+// rotation of vantage points, and the paper's RIPE-style ingress-point
+// detection that succeeds for ~72% of traceroutes.
+package measure
+
+import (
+	"fmt"
+	"sort"
+
+	"beatbgp/internal/geo"
+	"beatbgp/internal/netpath"
+	"beatbgp/internal/netsim"
+	"beatbgp/internal/topology"
+	"beatbgp/internal/xrand"
+)
+
+// Config tunes the platform. Zero value gets defaults.
+type Config struct {
+	Seed           uint64
+	PingsPerProbe  int     // ping packets per measurement, min is reported (default 5)
+	PingCost       int     // credits per ping probe (default 1)
+	TracerouteCost int     // credits per traceroute (default 2)
+	IngressDetect  float64 // probability an ingress is localizable (default 0.72)
+	// VPPrefixBase offsets synthetic vantage-point prefix IDs so their
+	// congestion processes do not collide with real client prefixes.
+	VPPrefixBase int // default 1_000_000
+}
+
+func (c *Config) setDefaults() {
+	if c.PingsPerProbe == 0 {
+		c.PingsPerProbe = 5
+	}
+	if c.PingCost == 0 {
+		c.PingCost = 1
+	}
+	if c.TracerouteCost == 0 {
+		c.TracerouteCost = 2
+	}
+	if c.IngressDetect == 0 {
+		c.IngressDetect = 0.72
+	}
+	if c.VPPrefixBase == 0 {
+		c.VPPrefixBase = 1_000_000
+	}
+}
+
+// VantagePoint is one measurement host: a ⟨City, AS⟩ location inside an
+// eyeball network, with a synthetic prefix carrying its last-mile
+// congestion process.
+type VantagePoint struct {
+	ID     int
+	AS     int
+	City   int
+	Prefix topology.Prefix
+}
+
+// Target is something the platform can probe. Route resolves the physical
+// path from a vantage point to the target; ExtraRTTMs adds target-side
+// latency beyond that path (e.g. private-WAN carriage from the ingress to
+// a data center). ExtraRTTMs may be nil.
+type Target struct {
+	Name       string
+	Route      func(vp VantagePoint) (netpath.Route, error)
+	ExtraRTTMs func(vp VantagePoint) float64
+}
+
+// Platform issues measurements and accounts for credits.
+type Platform struct {
+	topo *topology.Topo
+	sim  *netsim.Sim
+	cfg  Config
+	rng  *xrand.Rand
+	vps  []VantagePoint
+
+	creditsUsed int
+}
+
+// New enumerates vantage points (every ⟨footprint city, eyeball AS⟩ pair)
+// and returns a platform.
+func New(t *topology.Topo, sim *netsim.Sim, cfg Config) *Platform {
+	cfg.setDefaults()
+	p := &Platform{topo: t, sim: sim, cfg: cfg, rng: xrand.New(cfg.Seed ^ 0x5eedc)}
+	for _, asID := range t.ByClass(topology.Eyeball) {
+		for _, city := range t.ASes[asID].Cities {
+			id := len(p.vps)
+			p.vps = append(p.vps, VantagePoint{
+				ID:   id,
+				AS:   asID,
+				City: city,
+				Prefix: topology.Prefix{
+					ID:     cfg.VPPrefixBase + id,
+					Origin: asID,
+					City:   city,
+					Weight: 1,
+				},
+			})
+		}
+	}
+	return p
+}
+
+// VantagePoints returns every available VP in ID order.
+func (p *Platform) VantagePoints() []VantagePoint {
+	out := make([]VantagePoint, len(p.vps))
+	copy(out, p.vps)
+	return out
+}
+
+// Rotation returns the deterministic daily selection of up to n vantage
+// points for the given day, rotating across ⟨City, AS⟩ locations over
+// time as the paper's methodology does.
+func (p *Platform) Rotation(day, n int) []VantagePoint {
+	if n > len(p.vps) {
+		n = len(p.vps)
+	}
+	rng := xrand.New(p.cfg.Seed ^ (uint64(day)+1)*0x9e3779b97f4a7c15)
+	perm := rng.Perm(len(p.vps))
+	out := make([]VantagePoint, 0, n)
+	for _, idx := range perm[:n] {
+		out = append(out, p.vps[idx])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CreditsUsed reports total credits consumed.
+func (p *Platform) CreditsUsed() int { return p.creditsUsed }
+
+// Ping probes the target from the VP at simulated minute t and returns
+// the minimum RTT over the configured packet count, like the ping tool's
+// "min" column. It consumes PingCost credits.
+func (p *Platform) Ping(vp VantagePoint, tgt Target, t float64) (float64, error) {
+	p.creditsUsed += p.cfg.PingCost
+	route, err := tgt.Route(vp)
+	if err != nil {
+		return 0, fmt.Errorf("measure: ping %s from vp%d: %w", tgt.Name, vp.ID, err)
+	}
+	extra := 0.0
+	if tgt.ExtraRTTMs != nil {
+		extra = tgt.ExtraRTTMs(vp)
+	}
+	best := 0.0
+	for i := 0; i < p.cfg.PingsPerProbe; i++ {
+		rtt := p.sim.RouteRTTMs(route, vp.Prefix, t+float64(i)*0.01) + extra + p.rng.Exp(0.2)
+		if i == 0 || rtt < best {
+			best = rtt
+		}
+	}
+	return best, nil
+}
+
+// TracerouteResult is the resolved path plus the detected ingress into
+// the final AS (the target's network), if localizable.
+type TracerouteResult struct {
+	Route         netpath.Route
+	IngressCity   int  // city where traffic enters the final AS
+	IngressKnown  bool // detection succeeds with probability cfg.IngressDetect
+	IngressDistKm float64
+}
+
+// Traceroute probes the forwarding path and attempts to localize where it
+// enters the target's network, in the style of the paper's RIPE-probe
+// heuristic. It consumes TracerouteCost credits.
+func (p *Platform) Traceroute(vp VantagePoint, tgt Target) (TracerouteResult, error) {
+	p.creditsUsed += p.cfg.TracerouteCost
+	route, err := tgt.Route(vp)
+	if err != nil {
+		return TracerouteResult{}, fmt.Errorf("measure: traceroute %s from vp%d: %w", tgt.Name, vp.ID, err)
+	}
+	if len(route.Hops) == 0 {
+		return TracerouteResult{}, fmt.Errorf("measure: empty route")
+	}
+	res := TracerouteResult{Route: route}
+	res.IngressCity = route.Hops[len(route.Hops)-1].Ingress
+	res.IngressKnown = p.rng.Bool(p.cfg.IngressDetect)
+	res.IngressDistKm = geo.DistanceKm(
+		p.topo.Catalog.City(vp.City).Loc,
+		p.topo.Catalog.City(res.IngressCity).Loc)
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package netpath
+
+import (
+	"testing"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/topology"
+)
+
+func TestLateExitUnknownDestFallsBackToEarly(t *testing.T) {
+	// ResolveEntry gives the first AS no destination city; a late-exit AS
+	// must then hand off at the interconnect nearest its ingress, exactly
+	// like early exit.
+	topoLate, x, y, link, lon, _ := twoASTopo(t, topology.LateExit, topology.EarlyExit)
+	resLate := NewResolver(topoLate)
+	rLate, err := resLate.ResolveEntry(mkRoute([]int{x, y}, []int{link}), lon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLate.DstCity != lon {
+		t.Fatalf("late-exit with unknown destination should behave like hot potato; entry = %d", rLate.DstCity)
+	}
+}
+
+func TestResolvePinnedValidatesCity(t *testing.T) {
+	topo, x, y, link, lon, ny := twoASTopo(t, topology.EarlyExit, topology.EarlyExit)
+	res := NewResolver(topo)
+	// Pin at a city that is on the link: fine.
+	r, err := res.ResolvePinned(mkRoute([]int{x, y}, []int{link}), lon, ny, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hops[0].Egress != ny {
+		t.Fatalf("pin not honored: egress %d", r.Hops[0].Egress)
+	}
+	// Pin at a city not on the link: rejected.
+	tokyo, _ := topo.Catalog.ByName("Tokyo")
+	if _, err := res.ResolvePinned(mkRoute([]int{x, y}, []int{link}), lon, ny, tokyo.ID); err == nil {
+		t.Fatal("pin outside the link's interconnects accepted")
+	}
+}
+
+func TestPinnedChangesCarriedDistance(t *testing.T) {
+	// Early-exit X would hand off in London; pinning the egress at
+	// NewYork forces X to carry the ocean crossing.
+	topo, x, y, link, lon, ny := twoASTopo(t, topology.EarlyExit, topology.EarlyExit)
+	res := NewResolver(topo)
+	free, err := res.Resolve(mkRoute([]int{x, y}, []int{link}), lon, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := res.ResolvePinned(mkRoute([]int{x, y}, []int{link}), lon, ny, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Hops[0].Km != 0 {
+		t.Fatal("unpinned early exit should carry nothing in X")
+	}
+	if pinned.Hops[0].Km <= 0 {
+		t.Fatal("pinned egress should make X carry the crossing")
+	}
+	// Total distance differs because X (stretch 1.0) vs Y (stretch 1.3)
+	// carry the same physical segment.
+	if pinned.Km >= free.Km {
+		t.Fatalf("carrying on the faster backbone should shorten the route: %v vs %v", pinned.Km, free.Km)
+	}
+}
+
+func TestStretchIsAtLeastOneOnDirectRoutes(t *testing.T) {
+	topo, x, y, link, lon, ny := twoASTopo(t, topology.EarlyExit, topology.EarlyExit)
+	res := NewResolver(topo)
+	r, err := res.Resolve(mkRoute([]int{x, y}, []int{link}), lon, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stretch(topo.Catalog); s < 1 {
+		t.Fatalf("stretch %v below 1 on a real route", s)
+	}
+}
+
+func TestResolveSingleASRoute(t *testing.T) {
+	// An origin route (one AS, no links) resolves to pure intra-AS carry.
+	topo, x, _, _, lon, ny := twoASTopo(t, topology.EarlyExit, topology.EarlyExit)
+	res := NewResolver(topo)
+	route := bgp.Route{Valid: true, Src: bgp.SrcOrigin, Link: -1, NextHop: -1, Path: []int{x}}
+	r, err := res.Resolve(route, lon, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hops) != 1 || len(r.Links) != 0 {
+		t.Fatalf("unexpected shape: %d hops, %d links", len(r.Hops), len(r.Links))
+	}
+	if r.PropRTTMs() <= 0 {
+		t.Fatal("non-positive RTT for a real crossing")
+	}
+}

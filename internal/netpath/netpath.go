@@ -1,0 +1,213 @@
+// Package netpath turns AS-level BGP routes into city-level forwarding
+// paths over the physical cable graph, applying each AS's exit policy
+// (hot-potato early exit vs backbone-carrying late exit) at every
+// interconnection, and computing the resulting propagation RTT and path
+// stretch.
+//
+// This is where the paper's geographic explanations live: path inflation
+// from early exit, single-WAN carriage by Tier-1s, and the direction a
+// private WAN hauls intercontinental traffic all fall out of the
+// interconnection-city choices made here.
+//
+// RTTs are modeled as symmetric over the resolved forward path; real
+// Internet routing is often asymmetric, but the paper's comparisons are
+// between routing schemes over the same simulated substrate, so symmetry
+// cancels out.
+package netpath
+
+import (
+	"fmt"
+	"math"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/geo"
+	"beatbgp/internal/topology"
+)
+
+// PerBoundaryRTTMs is the fixed per-interconnection RTT cost (router
+// hops, exchange fabric) added at every AS boundary.
+const PerBoundaryRTTMs = 0.3
+
+// Hop is one AS's segment of a forwarding path.
+type Hop struct {
+	AS      int     // AS ID
+	Ingress int     // city where traffic enters the AS
+	Egress  int     // city where traffic leaves the AS (== Ingress at the end)
+	Km      float64 // intra-AS carried distance including the AS's stretch
+}
+
+// Route is a fully resolved city-level path.
+type Route struct {
+	Hops    []Hop
+	Links   []int // inter-AS link IDs crossed, in order
+	SrcCity int
+	DstCity int
+	Km      float64 // total carried distance
+}
+
+// PropRTTMs returns the propagation round-trip time of the route,
+// including per-boundary costs.
+func (r Route) PropRTTMs() float64 {
+	return r.Km*geo.FiberRTTMsPerKm + float64(len(r.Links))*PerBoundaryRTTMs
+}
+
+// Stretch returns carried distance over geodesic distance between the
+// endpoints (1.0 = perfectly direct). Returns +Inf for co-located
+// endpoints with non-zero carry, and 1 for a zero-length route.
+func (r Route) Stretch(cat *geo.Catalog) float64 {
+	geod := geo.DistanceKm(cat.City(r.SrcCity).Loc, cat.City(r.DstCity).Loc)
+	if geod == 0 {
+		if r.Km == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return r.Km / geod
+}
+
+// Resolver resolves AS paths against a topology.
+type Resolver struct {
+	topo *topology.Topo
+}
+
+// NewResolver returns a resolver over the topology.
+func NewResolver(t *topology.Topo) *Resolver { return &Resolver{topo: t} }
+
+// Catalog returns the city catalog of the underlying topology.
+func (r *Resolver) Catalog() *geo.Catalog { return r.topo.Catalog }
+
+// exitCity picks the interconnection city where AS `as` hands traffic to
+// the next AS over `link`, given the traffic's current city and (if known)
+// final destination city. dstCity < 0 means unknown; late-exit ASes then
+// fall back to early exit.
+func (r *Resolver) exitCity(as int, link int, curCity, dstCity int) (int, error) {
+	a := r.topo.ASes[as]
+	cities := r.topo.Links[link].Cities
+	if len(cities) == 0 {
+		return -1, fmt.Errorf("netpath: link %d has no interconnection city", link)
+	}
+	best, bestScore := -1, math.Inf(1)
+	for _, c := range cities {
+		var score float64
+		if a.Exit == topology.LateExit && dstCity >= 0 {
+			// Carry on our own backbone to the interconnect nearest the
+			// destination.
+			score = geo.DistanceKm(r.topo.Catalog.City(c).Loc, r.topo.Catalog.City(dstCity).Loc)
+		} else {
+			// Hot potato: hand off at the interconnect nearest the ingress.
+			d := a.Net.DistKm(curCity, c)
+			if math.IsInf(d, 1) {
+				continue
+			}
+			score = d
+		}
+		if score < bestScore || (score == bestScore && c < best) {
+			best, bestScore = c, score
+		}
+	}
+	if best < 0 {
+		return -1, fmt.Errorf("netpath: AS %s cannot reach any interconnect of link %d from city %d",
+			a.Name, link, curCity)
+	}
+	return best, nil
+}
+
+// walk resolves the route from srcCity through the AS path. If
+// terminateAtLastIngress is true, resolution stops when traffic enters the
+// final AS (dstCity may be < 0 in that case); otherwise the final AS
+// carries traffic to dstCity. pinFirstEgress >= 0 forces the first AS to
+// hand off at that interconnection city regardless of its exit policy.
+func (r *Resolver) walk(route bgp.Route, srcCity, dstCity int, terminateAtLastIngress bool, pinFirstEgress int) (Route, error) {
+	if !route.Valid {
+		return Route{}, fmt.Errorf("netpath: invalid route")
+	}
+	// Collapse prepending: distinct adjacent ASes only.
+	var ases []int
+	for i, as := range route.Path {
+		if i == 0 || as != route.Path[i-1] {
+			ases = append(ases, as)
+		}
+	}
+	if len(route.Links) != len(ases)-1 {
+		return Route{}, fmt.Errorf("netpath: %d links for %d AS transitions", len(route.Links), len(ases)-1)
+	}
+	t := r.topo
+	if !t.ASes[ases[0]].Net.Present(srcCity) {
+		return Route{}, fmt.Errorf("netpath: source city %d not in AS %s footprint", srcCity, t.ASes[ases[0]].Name)
+	}
+	out := Route{SrcCity: srcCity, DstCity: dstCity, Links: route.Links}
+	cur := srcCity
+	for i := 0; i+1 < len(ases); i++ {
+		as := ases[i]
+		var egress int
+		var err error
+		if i == 0 && pinFirstEgress >= 0 {
+			egress = pinFirstEgress
+			if !hasCity(t.Links[route.Links[0]].Cities, egress) {
+				return Route{}, fmt.Errorf("netpath: pinned egress %d not on link %d", egress, route.Links[0])
+			}
+		} else {
+			egress, err = r.exitCity(as, route.Links[i], cur, dstCity)
+			if err != nil {
+				return Route{}, err
+			}
+		}
+		p, ok := t.ASes[as].Net.Path(cur, egress)
+		if !ok {
+			return Route{}, fmt.Errorf("netpath: AS %s cannot carry %d->%d", t.ASes[as].Name, cur, egress)
+		}
+		out.Hops = append(out.Hops, Hop{AS: as, Ingress: cur, Egress: egress, Km: p.Km})
+		out.Km += p.Km
+		cur = egress
+	}
+	last := ases[len(ases)-1]
+	if terminateAtLastIngress {
+		out.Hops = append(out.Hops, Hop{AS: last, Ingress: cur, Egress: cur})
+		out.DstCity = cur
+		return out, nil
+	}
+	p, ok := t.ASes[last].Net.Path(cur, dstCity)
+	if !ok {
+		return Route{}, fmt.Errorf("netpath: final AS %s cannot carry %d->%d", t.ASes[last].Name, cur, dstCity)
+	}
+	out.Hops = append(out.Hops, Hop{AS: last, Ingress: cur, Egress: dstCity, Km: p.Km})
+	out.Km += p.Km
+	return out, nil
+}
+
+// Resolve maps a BGP route into a physical path for traffic flowing from
+// srcCity (inside the route's first AS) to dstCity (inside the origin AS).
+func (r *Resolver) Resolve(route bgp.Route, srcCity, dstCity int) (Route, error) {
+	if dstCity < 0 {
+		return Route{}, fmt.Errorf("netpath: destination city required")
+	}
+	return r.walk(route, srcCity, dstCity, false, -1)
+}
+
+// ResolvePinned is Resolve with the first AS's handoff forced to a
+// specific interconnection city — the Edge-Fabric setting, where a PoP
+// egresses locally rather than letting the backbone's exit policy carry
+// the traffic elsewhere.
+func (r *Resolver) ResolvePinned(route bgp.Route, srcCity, dstCity, firstEgress int) (Route, error) {
+	if dstCity < 0 {
+		return Route{}, fmt.Errorf("netpath: destination city required")
+	}
+	return r.walk(route, srcCity, dstCity, false, firstEgress)
+}
+
+// ResolveEntry resolves the path only up to the point where traffic
+// enters the route's final AS, returning that entry city as DstCity. This
+// is how anycast catchments are computed: the client's packets enter the
+// CDN's network somewhere, and the CDN's interior routing takes over.
+func (r *Resolver) ResolveEntry(route bgp.Route, srcCity int) (Route, error) {
+	return r.walk(route, srcCity, -1, true, -1)
+}
+
+func hasCity(cities []int, c int) bool {
+	for _, x := range cities {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}

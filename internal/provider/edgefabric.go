@@ -1,0 +1,153 @@
+package provider
+
+import (
+	"fmt"
+	"sort"
+
+	"beatbgp/internal/xrand"
+)
+
+// This file implements the capacity side of an Edge-Fabric-style egress
+// controller. The paper's §3.1 shows the *performance* benefit of such
+// controllers is small; their day job in production is protecting
+// interconnect capacity: when a PNI's demand exceeds its provisioned
+// capacity, the controller detours enough prefixes onto less-preferred
+// routes to avoid congesting the link (Schlinker et al., SIGCOMM 2017).
+
+// Capacities holds per-link egress capacity in the same volume units as
+// the workload's per-window demand.
+type Capacities struct {
+	PerLink map[int]float64 // link ID -> capacity; absent means unconstrained
+}
+
+// Provision assigns capacities from observed mean demand: every link gets
+// its mean per-window demand times a headroom factor drawn from
+// [headroomMin, headroomMax]. Low draws model the under-provisioned tail
+// that forces detours at peak. Transit links are left unconstrained —
+// upstream capacity is effectively elastic compared to a PNI port.
+func (p *Provider) Provision(seed uint64, meanDemand map[int]float64, headroomMin, headroomMax float64) (Capacities, error) {
+	if headroomMin <= 0 || headroomMax < headroomMin {
+		return Capacities{}, fmt.Errorf("provider: invalid headroom range [%v, %v]", headroomMin, headroomMax)
+	}
+	rng := xrand.New(seed ^ 0xCAB)
+	caps := Capacities{PerLink: make(map[int]float64)}
+	// Deterministic order.
+	links := make([]int, 0, len(meanDemand))
+	for l := range meanDemand {
+		links = append(links, l)
+	}
+	sort.Ints(links)
+	for _, l := range links {
+		class, ok := p.classes[l]
+		if !ok || class == ClassTransit {
+			continue
+		}
+		caps.PerLink[l] = meanDemand[l] * rng.Uniform(headroomMin, headroomMax)
+	}
+	return caps, nil
+}
+
+// OverloadPenaltyMs models the standing-queue latency on an egress link
+// running at the given utilization (offered load over capacity): nothing
+// below ~80% utilization, then an M/M/1-flavored blowup capped at a
+// bufferbloat-scale ceiling. This is what clients eat when nobody detours
+// traffic off a saturating PNI.
+func OverloadPenaltyMs(utilization float64) float64 {
+	const kneeUtil, serviceMs, capMs = 0.8, 1.0, 80.0
+	if utilization <= kneeUtil {
+		return 0
+	}
+	if utilization >= 1 {
+		return capMs
+	}
+	q := serviceMs * utilization / (1 - utilization)
+	if q > capMs {
+		return capMs
+	}
+	return q
+}
+
+// Demand is one prefix's egress demand at a PoP for one window: its volume
+// and the link used by each of its candidate routes, preferred first.
+type Demand struct {
+	Volume float64
+	Links  []int // candidate route links, BGP preference order
+}
+
+// AssignUnderCapacity implements the controller's per-window decision:
+// start everything on its BGP-preferred route, then, for each overloaded
+// link, detour the largest flows to their next candidate whose link has
+// room, until every constrained link fits (or no detour can help). It
+// returns the chosen route index per demand and the volume detoured.
+func AssignUnderCapacity(demands []Demand, caps Capacities) (choice []int, detoured float64) {
+	choice = make([]int, len(demands))
+	load := make(map[int]float64)
+	for _, d := range demands {
+		if len(d.Links) > 0 {
+			load[d.Links[0]] += d.Volume
+		}
+	}
+	capOf := func(link int) (float64, bool) {
+		c, ok := caps.PerLink[link]
+		return c, ok
+	}
+	// Iterate to a fixpoint with a bounded number of passes; each detour
+	// strictly reduces load on an overloaded link.
+	for pass := 0; pass < len(demands)+1; pass++ {
+		// Find the most overloaded constrained link.
+		worst, worstOver := -1, 0.0
+		for link, l := range load {
+			if c, ok := capOf(link); ok && l > c && l-c > worstOver {
+				worst, worstOver = link, l-c
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		// Candidates currently on the overloaded link, largest first
+		// (fewer moves), index ascending for determinism.
+		type cand struct {
+			idx int
+			vol float64
+		}
+		var cands []cand
+		for idx, d := range demands {
+			if choice[idx] < len(d.Links) && d.Links[choice[idx]] == worst {
+				cands = append(cands, cand{idx, d.Volume})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].vol != cands[b].vol {
+				return cands[a].vol > cands[b].vol
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		moved := false
+		over := worstOver
+		for _, c := range cands {
+			if over <= 0 {
+				break
+			}
+			d := demands[c.idx]
+			// Next candidate route whose link has room (or is
+			// unconstrained).
+			for next := choice[c.idx] + 1; next < len(d.Links); next++ {
+				nl := d.Links[next]
+				if cc, ok := capOf(nl); ok && load[nl]+d.Volume > cc {
+					continue
+				}
+				load[worst] -= d.Volume
+				load[nl] += d.Volume
+				choice[c.idx] = next
+				detoured += d.Volume
+				over -= d.Volume
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			break // overloaded but nothing can move; congestion stands
+		}
+	}
+	return choice, detoured
+}

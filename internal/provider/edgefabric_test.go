@@ -1,0 +1,155 @@
+package provider
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignNoConstraintsKeepsPreferred(t *testing.T) {
+	demands := []Demand{
+		{Volume: 10, Links: []int{1, 2}},
+		{Volume: 5, Links: []int{1, 3}},
+	}
+	choice, detoured := AssignUnderCapacity(demands, Capacities{PerLink: map[int]float64{}})
+	if detoured != 0 {
+		t.Fatalf("detoured %v with no constraints", detoured)
+	}
+	for i, c := range choice {
+		if c != 0 {
+			t.Fatalf("demand %d moved off preferred route", i)
+		}
+	}
+}
+
+func TestAssignDetoursOverload(t *testing.T) {
+	// Link 1 has capacity 12; demands total 15, so something must move to
+	// link 2 (unconstrained).
+	demands := []Demand{
+		{Volume: 10, Links: []int{1, 2}},
+		{Volume: 5, Links: []int{1, 2}},
+	}
+	caps := Capacities{PerLink: map[int]float64{1: 12}}
+	choice, detoured := AssignUnderCapacity(demands, caps)
+	if detoured == 0 {
+		t.Fatal("no detour despite overload")
+	}
+	load1 := 0.0
+	for i, d := range demands {
+		if d.Links[choice[i]] == 1 {
+			load1 += d.Volume
+		}
+	}
+	if load1 > 12 {
+		t.Fatalf("link 1 still overloaded: %v", load1)
+	}
+	// Largest flow moves first.
+	if choice[0] != 1 {
+		t.Fatalf("expected the 10-unit flow to move, choices %v", choice)
+	}
+}
+
+func TestAssignRespectsAlternateCapacity(t *testing.T) {
+	// Both links constrained; alternate can only absorb the small flow.
+	demands := []Demand{
+		{Volume: 10, Links: []int{1, 2}},
+		{Volume: 2, Links: []int{1, 2}},
+	}
+	caps := Capacities{PerLink: map[int]float64{1: 9, 2: 3}}
+	choice, _ := AssignUnderCapacity(demands, caps)
+	load := map[int]float64{}
+	for i, d := range demands {
+		load[d.Links[choice[i]]] += d.Volume
+	}
+	if load[2] > 3 {
+		t.Fatalf("alternate link overloaded: %v", load[2])
+	}
+}
+
+func TestAssignStuckOverloadStays(t *testing.T) {
+	// One flow, one constrained link, no alternate: congestion stands but
+	// the controller must not loop or move anything.
+	demands := []Demand{{Volume: 10, Links: []int{1}}}
+	caps := Capacities{PerLink: map[int]float64{1: 5}}
+	choice, detoured := AssignUnderCapacity(demands, caps)
+	if choice[0] != 0 || detoured != 0 {
+		t.Fatalf("impossible detour happened: %v %v", choice, detoured)
+	}
+}
+
+func TestAssignProperties(t *testing.T) {
+	// Property: chosen indices are always valid, and every constrained
+	// link that CAN be relieved ends at or under capacity when the
+	// alternates are unconstrained.
+	f := func(vols []uint8, capSeed uint8) bool {
+		if len(vols) == 0 {
+			return true
+		}
+		demands := make([]Demand, len(vols))
+		total := 0.0
+		for i, v := range vols {
+			demands[i] = Demand{Volume: float64(v%50) + 1, Links: []int{1, 2}}
+			total += demands[i].Volume
+		}
+		capacity := float64(capSeed%100) + 1
+		caps := Capacities{PerLink: map[int]float64{1: capacity}}
+		choice, _ := AssignUnderCapacity(demands, caps)
+		load1 := 0.0
+		for i := range demands {
+			if choice[i] < 0 || choice[i] >= len(demands[i].Links) {
+				return false
+			}
+			if demands[i].Links[choice[i]] == 1 {
+				load1 += demands[i].Volume
+			}
+		}
+		// Link 2 is unconstrained, so link 1 must end under capacity
+		// unless even zero flows would exceed it (impossible: load 0).
+		return load1 <= capacity || load1 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvision(t *testing.T) {
+	topo, p := build(t, 31)
+	_ = topo
+	demand := map[int]float64{}
+	for _, l := range p.PeerLinks(ClassPNI) {
+		demand[l] = 100
+	}
+	for _, l := range p.PeerLinks(ClassTransit) {
+		demand[l] = 100
+	}
+	caps, err := p.Provision(1, demand, 1.2, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.PeerLinks(ClassPNI) {
+		c, ok := caps.PerLink[l]
+		if !ok {
+			t.Fatalf("PNI %d unprovisioned", l)
+		}
+		if c < 120 || c > 200 {
+			t.Fatalf("PNI capacity %v outside headroom range", c)
+		}
+	}
+	for _, l := range p.PeerLinks(ClassTransit) {
+		if _, ok := caps.PerLink[l]; ok {
+			t.Fatal("transit link should be unconstrained")
+		}
+	}
+	if _, err := p.Provision(1, demand, 0, 2); err == nil {
+		t.Fatal("invalid headroom accepted")
+	}
+	// Determinism.
+	c2, err := p.Provision(1, demand, 1.2, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, v := range caps.PerLink {
+		if c2.PerLink[l] != v {
+			t.Fatal("provisioning not deterministic")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package provider
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOverloadPenaltyShape(t *testing.T) {
+	if OverloadPenaltyMs(0.5) != 0 || OverloadPenaltyMs(0.8) != 0 {
+		t.Fatal("no penalty expected below the knee")
+	}
+	if OverloadPenaltyMs(1.0) != 80 || OverloadPenaltyMs(2.0) != 80 {
+		t.Fatal("saturated links must hit the cap")
+	}
+	if OverloadPenaltyMs(0.9) <= 0 {
+		t.Fatal("90% utilization should queue")
+	}
+	if OverloadPenaltyMs(0.95) <= OverloadPenaltyMs(0.9) {
+		t.Fatal("penalty must grow with utilization")
+	}
+}
+
+func TestOverloadPenaltyProperties(t *testing.T) {
+	monotone := func(a, b uint16) bool {
+		ua := float64(a) / 65535 * 1.5
+		ub := float64(b) / 65535 * 1.5
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		pa, pb := OverloadPenaltyMs(ua), OverloadPenaltyMs(ub)
+		return pa <= pb && pa >= 0 && pb <= 80
+	}
+	if err := quick.Check(monotone, nil); err != nil {
+		t.Fatal(err)
+	}
+}

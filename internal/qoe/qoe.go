@@ -1,0 +1,57 @@
+// Package qoe models the user-experience side of latency — the paper's
+// framing device ("milliseconds of delay can cause users to abandon a cat
+// video") and its §4 call for "a richer understanding of how latency
+// impacts user experience and user actions".
+//
+// The model is the standard industry rule-of-thumb family (the paper's
+// ref [17], and the Amazon/Google numbers behind ref [19]): engagement
+// decays roughly exponentially in page latency, with sensitivity in the
+// region of a percent of conversions per hundred milliseconds. Absolute
+// calibration is not the point; the package exists so experiments can
+// state results in sessions and engagement rather than milliseconds.
+package qoe
+
+import "math"
+
+// Model maps latency to relative engagement.
+type Model struct {
+	// SensitivityPerMs is the relative engagement lost per millisecond of
+	// added latency, in the small-delta regime. The classic numbers
+	// (−1%/100ms) give 1e-4.
+	SensitivityPerMs float64
+	// SessionsPerWeightPerDay converts a prefix's traffic weight into
+	// HTTP sessions per day, scaling simulator weights to the paper's
+	// "hundreds of trillions of sessions over ten days" universe.
+	SessionsPerWeightPerDay float64
+}
+
+// Default returns the rule-of-thumb model: 1% engagement per 100 ms, and
+// a session scale that puts the simulated world's ten-day trace in the
+// paper's order of magnitude.
+func Default() Model {
+	return Model{
+		SensitivityPerMs:        1e-4,
+		SessionsPerWeightPerDay: 1e10,
+	}
+}
+
+// Engagement returns the relative engagement (1 = instantaneous) at the
+// given page latency: exp(-sensitivity * ms), the small-delta-consistent
+// form that stays positive for tail latencies.
+func (m Model) Engagement(latencyMs float64) float64 {
+	if latencyMs < 0 {
+		latencyMs = 0
+	}
+	return math.Exp(-m.SensitivityPerMs * latencyMs)
+}
+
+// EngagementDelta returns the relative engagement change from reducing
+// latency by deltaMs at a baseline (positive = engagement gained).
+func (m Model) EngagementDelta(baselineMs, deltaMs float64) float64 {
+	return m.Engagement(baselineMs-deltaMs) - m.Engagement(baselineMs)
+}
+
+// SessionsPerDay converts a traffic weight into sessions per day.
+func (m Model) SessionsPerDay(weight float64) float64 {
+	return weight * m.SessionsPerWeightPerDay
+}

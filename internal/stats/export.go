@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits the series as a two-column CSV with a header row.
+func (s Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	x := s.XLabel
+	if x == "" {
+		x = "x"
+	}
+	y := s.YLabel
+	if y == "" {
+		y = "y"
+	}
+	if err := cw.Write([]string{x, y}); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the table with a header row ("row" plus the column
+// names) and one line per row.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"row"}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := make([]string, 0, len(r.Cells)+1)
+		rec = append(rec, r.Label)
+		for _, v := range r.Cells {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Plot draws the series as an ASCII chart of the given dimensions
+// (minimum 16x4), suitable for terminal inspection of a CDF/CCDF.
+func (s Series) Plot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(s.Points) == 0 {
+		return fmt.Sprintf("# %s (empty)\n", s.Name)
+	}
+	minX, maxX := s.Points[0].X, s.Points[0].X
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if !math.IsNaN(p.Y) {
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return fmt.Sprintf("# %s (no finite values)\n", s.Name)
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		x := minX + (maxX-minX)*float64(col)/float64(width-1)
+		y := s.YAt(x)
+		if math.IsNaN(y) {
+			continue
+		}
+		row := int((maxY - y) / (maxY - minY) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	for i, line := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "        %-*.4g%*.4g\n", width/2+1, minX, width/2, maxX)
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := Series{Name: "line", XLabel: "ms", YLabel: "frac",
+		Points: []XY{{1, 0.25}, {2, 0.5}}}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want header + 2", len(recs))
+	}
+	if recs[0][0] != "ms" || recs[0][1] != "frac" {
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[1][0] != "1" || recs[1][1] != "0.25" {
+		t.Fatalf("row = %v", recs[1])
+	}
+}
+
+func TestSeriesWriteCSVDefaultsHeader(t *testing.T) {
+	var b strings.Builder
+	if err := (Series{Points: []XY{{0, 0}}}).WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "x,y") {
+		t.Fatalf("default header missing: %q", b.String())
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := Table{Name: "demo", Columns: []string{"a", "b"}}
+	tb.AddRow("first", 1.5, 2)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0][0] != "row" || recs[0][1] != "a" {
+		t.Fatalf("header = %v", recs[0])
+	}
+	if recs[1][0] != "first" || recs[1][1] != "1.5" || recs[1][2] != "2" {
+		t.Fatalf("row = %v", recs[1])
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	var d Dist
+	for i := 0; i < 100; i++ {
+		d.Add(float64(i), 1)
+	}
+	s := d.CDFSeries("cdf", 0, 99, 50)
+	out := s.Plot(40, 8)
+	if !strings.Contains(out, "cdf") {
+		t.Fatal("plot missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("plot has no marks")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + x-axis
+	if len(lines) != 1+8+1 {
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+	// Monotone CDF: the top row's marks must be to the right of the
+	// bottom row's.
+	top, bottom := lines[1], lines[8]
+	if strings.LastIndex(top, "*") < strings.Index(bottom, "*") {
+		t.Fatal("CDF plot not rising left to right")
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	if out := (Series{Name: "none"}).Plot(20, 5); !strings.Contains(out, "empty") {
+		t.Fatalf("empty plot = %q", out)
+	}
+	// Flat series must not divide by zero.
+	flat := Series{Name: "flat", Points: []XY{{0, 1}, {10, 1}}}
+	if out := flat.Plot(20, 5); !strings.Contains(out, "*") {
+		t.Fatal("flat plot missing marks")
+	}
+	// Single point.
+	one := Series{Name: "one", Points: []XY{{3, 0.5}}}
+	if out := one.Plot(20, 5); !strings.Contains(out, "*") {
+		t.Fatal("single-point plot missing marks")
+	}
+	// Tiny dimensions are clamped.
+	if out := flat.Plot(1, 1); out == "" {
+		t.Fatal("clamped plot empty")
+	}
+}

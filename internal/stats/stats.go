@@ -1,0 +1,273 @@
+// Package stats implements the statistical machinery shared by every
+// experiment: weighted empirical distributions, quantiles, confidence
+// intervals for medians, histograms, and the Series/Table result types
+// that the benchmark harness renders.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedSample is one observation with an associated weight (typically
+// bytes of traffic or a population estimate).
+type WeightedSample struct {
+	Value  float64
+	Weight float64
+}
+
+// Dist is a weighted empirical distribution. The zero value is an empty
+// distribution ready for Add.
+type Dist struct {
+	samples []WeightedSample
+	sorted  bool
+	total   float64
+}
+
+// Add appends one observation. Non-positive weights are ignored: they carry
+// no mass and would otherwise corrupt quantile interpolation.
+func (d *Dist) Add(value, weight float64) {
+	if weight <= 0 || math.IsNaN(value) || math.IsNaN(weight) {
+		return
+	}
+	d.samples = append(d.samples, WeightedSample{value, weight})
+	d.total += weight
+	d.sorted = false
+}
+
+// AddAll appends value with weight 1 for each value.
+func (d *Dist) AddAll(values ...float64) {
+	for _, v := range values {
+		d.Add(v, 1)
+	}
+}
+
+// N returns the number of observations.
+func (d *Dist) N() int { return len(d.samples) }
+
+// TotalWeight returns the sum of all weights.
+func (d *Dist) TotalWeight() float64 { return d.total }
+
+func (d *Dist) ensureSorted() {
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool {
+			return d.samples[i].Value < d.samples[j].Value
+		})
+		d.sorted = true
+	}
+}
+
+// Quantile returns the weighted q-quantile (0 ≤ q ≤ 1). It returns NaN for
+// an empty distribution. The estimator is the standard weighted
+// inverse-CDF: the smallest value at which the cumulative weight reaches
+// q·total.
+func (d *Dist) Quantile(q float64) float64 {
+	if len(d.samples) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		d.ensureSorted()
+		return d.samples[0].Value
+	}
+	if q >= 1 {
+		d.ensureSorted()
+		return d.samples[len(d.samples)-1].Value
+	}
+	d.ensureSorted()
+	target := q * d.total
+	acc := 0.0
+	for _, s := range d.samples {
+		acc += s.Weight
+		if acc >= target {
+			return s.Value
+		}
+	}
+	return d.samples[len(d.samples)-1].Value
+}
+
+// Median returns the weighted median.
+func (d *Dist) Median() float64 { return d.Quantile(0.5) }
+
+// Mean returns the weighted mean, or NaN when empty.
+func (d *Dist) Mean() float64 {
+	if d.total == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, s := range d.samples {
+		sum += s.Value * s.Weight
+	}
+	return sum / d.total
+}
+
+// Min returns the smallest observation, or NaN when empty.
+func (d *Dist) Min() float64 {
+	if len(d.samples) == 0 {
+		return math.NaN()
+	}
+	d.ensureSorted()
+	return d.samples[0].Value
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (d *Dist) Max() float64 {
+	if len(d.samples) == 0 {
+		return math.NaN()
+	}
+	d.ensureSorted()
+	return d.samples[len(d.samples)-1].Value
+}
+
+// FracBelow returns the fraction of total weight with Value < x.
+func (d *Dist) FracBelow(x float64) float64 {
+	if d.total == 0 {
+		return math.NaN()
+	}
+	d.ensureSorted()
+	acc := 0.0
+	for _, s := range d.samples {
+		if s.Value >= x {
+			break
+		}
+		acc += s.Weight
+	}
+	return acc / d.total
+}
+
+// FracAtLeast returns the fraction of total weight with Value >= x.
+func (d *Dist) FracAtLeast(x float64) float64 {
+	f := d.FracBelow(x)
+	if math.IsNaN(f) {
+		return f
+	}
+	return 1 - f
+}
+
+// CDF evaluates the weighted empirical CDF: fraction of weight ≤ x.
+func (d *Dist) CDF(x float64) float64 {
+	if d.total == 0 {
+		return math.NaN()
+	}
+	d.ensureSorted()
+	acc := 0.0
+	for _, s := range d.samples {
+		if s.Value > x {
+			break
+		}
+		acc += s.Weight
+	}
+	return acc / d.total
+}
+
+// CDFSeries samples the CDF at n evenly spaced points between lo and hi
+// (inclusive) and returns them as a plottable series.
+func (d *Dist) CDFSeries(name string, lo, hi float64, n int) Series {
+	s := Series{Name: name, XLabel: "value", YLabel: "cum. fraction"}
+	if n < 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		s.Points = append(s.Points, XY{X: x, Y: d.CDF(x)})
+	}
+	return s
+}
+
+// CCDFSeries samples the complementary CDF (fraction of weight > x).
+func (d *Dist) CCDFSeries(name string, lo, hi float64, n int) Series {
+	s := d.CDFSeries(name, lo, hi, n)
+	s.YLabel = "ccdf"
+	for i := range s.Points {
+		s.Points[i].Y = 1 - s.Points[i].Y
+	}
+	return s
+}
+
+// MedianCI returns a confidence interval for the weighted median at
+// roughly the given confidence level (e.g. 0.95), computed by bootstrap
+// resampling with a deterministic internal generator. For tiny samples the
+// interval degenerates to [min, max].
+func (d *Dist) MedianCI(level float64) (lo, hi float64) {
+	n := len(d.samples)
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if n < 5 {
+		return d.Min(), d.Max()
+	}
+	const resamples = 200
+	meds := make([]float64, 0, resamples)
+	// Deterministic LCG local to the call: CI computation must not consume
+	// simulation randomness.
+	state := uint64(n)*2654435761 + 0x9e3779b9
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 11
+	}
+	// Resample indices proportionally to weight using cumulative weights.
+	d.ensureSorted()
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, s := range d.samples {
+		acc += s.Weight
+		cum[i] = acc
+	}
+	for r := 0; r < resamples; r++ {
+		var re Dist
+		for k := 0; k < n; k++ {
+			u := float64(next()%(1<<52)) / (1 << 52) * acc
+			idx := sort.SearchFloat64s(cum, u)
+			if idx >= n {
+				idx = n - 1
+			}
+			re.Add(d.samples[idx].Value, 1)
+		}
+		meds = append(meds, re.Median())
+	}
+	sort.Float64s(meds)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return meds[loIdx], meds[hiIdx]
+}
+
+// Summary holds the common descriptive statistics of a distribution.
+type Summary struct {
+	N      int
+	Weight float64
+	Mean   float64
+	Min    float64
+	P10    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P90    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary.
+func (d *Dist) Summarize() Summary {
+	return Summary{
+		N:      d.N(),
+		Weight: d.TotalWeight(),
+		Mean:   d.Mean(),
+		Min:    d.Min(),
+		P10:    d.Quantile(0.10),
+		P25:    d.Quantile(0.25),
+		Median: d.Median(),
+		P75:    d.Quantile(0.75),
+		P90:    d.Quantile(0.90),
+		P99:    d.Quantile(0.99),
+		Max:    d.Max(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d w=%.0f mean=%.2f p10=%.2f p50=%.2f p90=%.2f p99=%.2f",
+		s.N, s.Weight, s.Mean, s.P10, s.Median, s.P90, s.P99)
+}

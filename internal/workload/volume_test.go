@@ -1,0 +1,28 @@
+package workload
+
+import "testing"
+
+func TestDiurnalVolumeBounds(t *testing.T) {
+	for h := -48.0; h < 96; h += 0.25 {
+		v := diurnalVolume(h)
+		if v < 0 || v > 1 {
+			t.Fatalf("diurnalVolume(%v) = %v out of [0,1]", h, v)
+		}
+	}
+}
+
+func TestDiurnalVolumeShape(t *testing.T) {
+	if diurnalVolume(21) != 1.0 {
+		t.Fatalf("evening peak = %v, want 1", diurnalVolume(21))
+	}
+	if diurnalVolume(3) >= diurnalVolume(12) {
+		t.Fatal("overnight should be quieter than daytime")
+	}
+	if diurnalVolume(12) >= diurnalVolume(20) {
+		t.Fatal("daytime should be quieter than the evening peak")
+	}
+	// Periodicity via the wrap-around handling.
+	if diurnalVolume(21) != diurnalVolume(21+24) || diurnalVolume(3) != diurnalVolume(3-24) {
+		t.Fatal("daily curve should repeat every 24h")
+	}
+}

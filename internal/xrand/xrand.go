@@ -1,0 +1,220 @@
+// Package xrand provides a small, deterministic pseudo-random number
+// generator and the distributions used throughout the simulator.
+//
+// Every stochastic component in the repository draws from an *xrand.Rand
+// seeded from an explicit configuration value, so that a scenario is
+// bit-reproducible across runs and platforms. The generator is a
+// splitmix64-seeded xoshiro256** — fast, well distributed, and independent
+// of the Go runtime's math/rand sequence guarantees.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator. The zero value is
+// not ready for use; construct with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the seed expander; it is used only to initialize the
+// xoshiro state so that nearby seeds yield unrelated streams.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// Guard against the (astronomically unlikely) all-zero state, which is
+	// the one fixed point of xoshiro.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent generator from r, keyed by label. Deriving
+// rather than sharing keeps subsystem streams decoupled: adding draws in
+// one module does not perturb another module's sequence.
+func (r *Rand) Split(label string) *Rand {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return New(h ^ r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, via the Marsaglia polar method.
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// LogNormal returns exp(N(mu, sigma)). mu and sigma are the parameters of
+// the underlying normal, not the mean of the result.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -mean * math.Log(u)
+		}
+	}
+}
+
+// Pareto returns a Pareto(xm, alpha) value: heavy-tailed, minimum xm.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return xm / math.Pow(u, 1/alpha)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the CDF once; construct with NewZipf.
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Rank returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Rank() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weight returns the probability mass of rank i under the sampler.
+func (z *Zipf) Weight(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// WeightedChoice picks an index in [0, len(weights)) with probability
+// proportional to weights[i]. Weights must be non-negative with a positive
+// sum; otherwise it panics.
+func (r *Rand) WeightedChoice(weights []float64) int {
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("xrand: weights sum to zero")
+	}
+	u := r.Float64() * sum
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
