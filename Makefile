@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over Config validation; raise FUZZTIME for a longer run.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

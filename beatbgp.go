@@ -28,9 +28,13 @@
 package beatbgp
 
 import (
+	"context"
+	"time"
+
 	"beatbgp/internal/cdn"
 	"beatbgp/internal/core"
 	"beatbgp/internal/dnsmap"
+	"beatbgp/internal/faults"
 	"beatbgp/internal/netsim"
 	"beatbgp/internal/provider"
 	"beatbgp/internal/stats"
@@ -78,6 +82,45 @@ type (
 	Table  = stats.Table
 )
 
+// Fault-injection types: a scheduled, seed-deterministic timeline of
+// infrastructure events (cable cuts, AS/facility outages, session resets,
+// congestion storms, LDNS staleness) that composes with the stochastic
+// incidents via Sim.SetFaults. See the internal/faults package doc for
+// the fault model.
+type (
+	// FaultKind classifies a fault event.
+	FaultKind = faults.Kind
+	// FaultEvent is one scheduled fault.
+	FaultEvent = faults.Event
+	// FaultTimeline is a validated, queryable fault schedule; it plugs
+	// into a netsim.Sim as its fault overlay.
+	FaultTimeline = faults.Timeline
+	// FaultGenConfig parameterizes seed-deterministic fault generation.
+	FaultGenConfig = faults.GenConfig
+)
+
+// Fault kinds.
+const (
+	FaultCableCut        = faults.CableCut
+	FaultLinkDown        = faults.LinkDown
+	FaultASOutage        = faults.ASOutage
+	FaultFacilityOutage  = faults.FacilityOutage
+	FaultCongestionStorm = faults.CongestionStorm
+	FaultLDNSStale       = faults.LDNSStale
+)
+
+// NewFaultTimeline validates an explicit fault schedule against the
+// scenario's topology.
+func NewFaultTimeline(s *Scenario, events []FaultEvent) (*FaultTimeline, error) {
+	return faults.New(s.Topo, events)
+}
+
+// GenerateFaults draws a seed-deterministic fault schedule over the
+// scenario's topology.
+func GenerateFaults(s *Scenario, cfg FaultGenConfig) (*FaultTimeline, error) {
+	return faults.Generate(s.Topo, cfg)
+}
+
 // Egress route classes, in decreasing BGP-policy preference.
 const (
 	ClassPNI        = provider.ClassPNI
@@ -114,4 +157,20 @@ func RunAll(s *Scenario) ([]Result, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// RunContext is Run honoring context cancellation and, when timeout > 0, a
+// per-experiment deadline. A panic inside the experiment is recovered and
+// returned as an error. After a cancellation or timeout the scenario must
+// be discarded: the abandoned experiment goroutine may still be mutating
+// its caches.
+func RunContext(ctx context.Context, s *Scenario, id string, timeout time.Duration) (Result, error) {
+	return core.RunByIDContext(ctx, s, id, timeout)
+}
+
+// RunAllContext is RunAll under a context with an optional per-experiment
+// timeout, stopping at the first error. The same discard-on-timeout rule
+// as RunContext applies.
+func RunAllContext(ctx context.Context, s *Scenario, timeout time.Duration) ([]Result, error) {
+	return core.RunAllContext(ctx, s, timeout)
 }

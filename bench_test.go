@@ -82,9 +82,11 @@ func BenchmarkPeeringReduction(b *testing.B)   { benchExperiment(b, "xpeer") }
 func BenchmarkGrooming(b *testing.B)           { benchExperiment(b, "xgroom") }
 func BenchmarkSingleWAN(b *testing.B)          { benchExperiment(b, "xwan") }
 func BenchmarkSplitTCP(b *testing.B)           { benchExperiment(b, "xsplit") }
-func BenchmarkAvailability(b *testing.B)       { benchExperiment(b, "xavail") }
+func BenchmarkRouteDiversity(b *testing.B)     { benchExperiment(b, "xdiv") }
 func BenchmarkCapacity(b *testing.B)           { benchExperiment(b, "xcap") }
 func BenchmarkSiteOutage(b *testing.B)         { benchExperiment(b, "xdyn") }
+func BenchmarkFaultStudy(b *testing.B)         { benchExperiment(b, "xfaults") }
+func BenchmarkFaultAvailability(b *testing.B)  { benchExperiment(b, "xavail") }
 func BenchmarkHybrid(b *testing.B)             { benchExperiment(b, "xhybrid") }
 func BenchmarkOdin(b *testing.B)               { benchExperiment(b, "xodin") }
 func BenchmarkSiteDensity(b *testing.B)        { benchExperiment(b, "xsites") }

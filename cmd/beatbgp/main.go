@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	beatbgp [-seed N] [-exp id[,id...]] [-list] [-days N] [-eyeballs N]
+//	beatbgp [-seed N] [-exp id[,id...]] [-list] [-days N] [-eyeballs N] [-timeout D]
 //
 // With no -exp, every registered experiment runs in the paper's order.
+// Unknown experiment IDs and nonsensical flag values are rejected up
+// front, before any scenario is built, with a non-zero exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +35,7 @@ func main() {
 		outDir   = flag.String("out", "", "also write <id>.json and per-series/table CSVs into this directory")
 		plot     = flag.Bool("plot", false, "render each series as an ASCII chart")
 		seeds    = flag.Int("seeds", 0, "run each experiment across N seeds (fresh worlds) and report mean/min/max per table cell")
+		timeout  = flag.Duration("timeout", 0, "per-experiment deadline (e.g. 2m); 0 means none")
 	)
 	flag.Parse()
 
@@ -40,6 +44,50 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "beatbgp: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	// Validate everything before the expensive scenario build so a typo
+	// cannot produce minutes of partial output followed by a late error.
+	if flag.NArg() > 0 {
+		fail("unexpected arguments %q (flags only)", flag.Args())
+	}
+	if *days < 0 || *eyeballs < 0 || *seeds < 0 {
+		fail("-days, -eyeballs and -seeds must be non-negative")
+	}
+	if *timeout < 0 {
+		fail("-timeout must be non-negative")
+	}
+	if *seeds > 1 && *timeout > 0 {
+		fail("-timeout is per single-scenario experiment; it does not apply under -seeds")
+	}
+	known := map[string]bool{}
+	for _, e := range beatbgp.Experiments() {
+		known[e.ID] = true
+	}
+	var ids []string
+	if *exp == "" {
+		for _, e := range beatbgp.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				fail("unknown experiment %q (see -list)", id)
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			fail("-exp named no experiments")
+		}
 	}
 
 	cfg := beatbgp.Config{Seed: *seed}
@@ -53,37 +101,29 @@ func main() {
 	start := time.Now()
 	s, err := beatbgp.NewScenario(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "beatbgp:", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	fmt.Printf("# scenario seed=%d built in %v: %d ASes, %d links, %d prefixes\n",
 		*seed, time.Since(start).Round(time.Millisecond),
 		s.Topo.NumASes(), len(s.Topo.Links), len(s.Topo.Prefixes))
 
-	var ids []string
-	if *exp == "" {
-		for _, e := range beatbgp.Experiments() {
-			ids = append(ids, e.ID)
-		}
-	} else {
-		ids = strings.Split(*exp, ",")
-	}
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
 		t0 := time.Now()
 		var r beatbgp.Result
-		if *seeds > 1 {
+		switch {
+		case *seeds > 1:
 			seedList := make([]uint64, *seeds)
 			for i := range seedList {
 				seedList[i] = *seed + uint64(i)
 			}
 			r, err = beatbgp.RunSeeds(cfg, id, seedList)
-		} else {
+		case *timeout > 0:
+			r, err = beatbgp.RunContext(context.Background(), s, id, *timeout)
+		default:
 			r, err = beatbgp.Run(s, id)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "beatbgp: %s: %v\n", id, err)
-			os.Exit(1)
+			fail("%s: %v", id, err)
 		}
 		fmt.Printf("\n# %s completed in %v\n", id, time.Since(t0).Round(time.Millisecond))
 		switch {
@@ -91,8 +131,7 @@ func main() {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(r); err != nil {
-				fmt.Fprintf(os.Stderr, "beatbgp: %s: %v\n", id, err)
-				os.Exit(1)
+				fail("%s: %v", id, err)
 			}
 		default:
 			fmt.Print(r.Render())
@@ -104,8 +143,7 @@ func main() {
 		}
 		if *outDir != "" {
 			if err := writeResult(*outDir, r); err != nil {
-				fmt.Fprintf(os.Stderr, "beatbgp: %s: %v\n", id, err)
-				os.Exit(1)
+				fail("%s: %v", id, err)
 			}
 		}
 	}

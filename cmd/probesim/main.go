@@ -25,6 +25,20 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject bad flags before the expensive scenario build.
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "probesim: unexpected arguments %q (flags only)\n", flag.Args())
+		os.Exit(1)
+	}
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "probesim: -n must be positive")
+		os.Exit(1)
+	}
+	if *day < 0 {
+		fmt.Fprintln(os.Stderr, "probesim: -day must be non-negative")
+		os.Exit(1)
+	}
+
 	s, err := beatbgp.NewScenario(beatbgp.Config{Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "probesim:", err)

@@ -24,6 +24,16 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject bad flags before the expensive scenario build.
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "topogen: unexpected arguments %q (flags only)\n", flag.Args())
+		os.Exit(1)
+	}
+	if *eyeballs < 0 {
+		fmt.Fprintln(os.Stderr, "topogen: -eyeballs must be non-negative")
+		os.Exit(1)
+	}
+
 	cfg := beatbgp.Config{Seed: *seed}
 	if *eyeballs > 0 {
 		cfg.Topology.EyeballsPerRegion = *eyeballs

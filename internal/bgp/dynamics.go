@@ -22,7 +22,10 @@ const (
 // without connectivity after the failure, before newRoute (the
 // post-convergence route) is installed. An invalid newRoute means the
 // destination is partitioned: convergence never completes within the
-// outage and the caller should treat the whole outage as downtime.
+// outage and the caller should treat the whole outage as downtime. An AS
+// whose route is unchanged by the failure never saw a withdrawal and
+// converges instantly; so does an AS at the origin itself (a zero-hop
+// path has nothing to explore).
 func ConvergenceMinutes(oldRoute, newRoute Route) (minutes float64, converges bool) {
 	if !newRoute.Valid {
 		return 0, false
@@ -31,5 +34,35 @@ func ConvergenceMinutes(oldRoute, newRoute Route) (minutes float64, converges bo
 		// Nothing was lost; the "new" route is just the current one.
 		return 0, true
 	}
-	return ConvergenceBaseMin + ConvergencePerHopMin*float64(newRoute.PathLen()-1), true
+	if sameRoute(oldRoute, newRoute) {
+		// The failure did not touch this AS's path: no withdrawal, no
+		// exploration, no blackhole.
+		return 0, true
+	}
+	hops := newRoute.PathLen() - 1
+	if hops < 0 {
+		// Degenerate zero-length path (hand-built Route); clamp rather
+		// than produce negative exploration time.
+		hops = 0
+	}
+	return ConvergenceBaseMin + ConvergencePerHopMin*float64(hops), true
+}
+
+// sameRoute reports whether the two valid routes are the same path over
+// the same links.
+func sameRoute(a, b Route) bool {
+	if a.Link != b.Link || len(a.Path) != len(b.Path) || len(a.Links) != len(b.Links) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -87,29 +87,45 @@ func TestOffersRespectDownLinks(t *testing.T) {
 }
 
 func TestConvergenceMinutes(t *testing.T) {
-	old := Route{Valid: true, Path: []int{1, 2, 3}}
-	nw := Route{Valid: true, Path: []int{1, 4, 5, 3}}
-	m, ok := ConvergenceMinutes(old, nw)
-	if !ok {
-		t.Fatal("converging failover reported as partition")
+	old := Route{Valid: true, Path: []int{1, 2, 3}, Links: []int{10, 11}}
+	nw := Route{Valid: true, Path: []int{1, 4, 5, 3}, Links: []int{20, 21, 22}}
+	longer := Route{Valid: true, Path: []int{1, 4, 5, 6, 3}, Links: []int{20, 21, 23, 24}}
+	cases := []struct {
+		name      string
+		old, new  Route
+		wantMin   float64
+		converges bool
+	}{
+		{"failover", old, nw, ConvergenceBaseMin + ConvergencePerHopMin*3, true},
+		{"longer replacement", old, longer, ConvergenceBaseMin + ConvergencePerHopMin*4, true},
+		{"partitioned destination", old, Route{}, 0, false},
+		{"nothing lost", Route{}, nw, 0, true},
+		{"unchanged route", old, old, 0, true},
+		{"same path different link",
+			old,
+			Route{Valid: true, Path: []int{1, 2, 3}, Links: []int{10, 12}},
+			ConvergenceBaseMin + ConvergencePerHopMin*2, true},
+		{"zero-length old path", Route{Valid: true}, nw,
+			ConvergenceBaseMin + ConvergencePerHopMin*3, true},
+		{"zero-length new path clamps", old, Route{Valid: true}, ConvergenceBaseMin, true},
+		{"origin single-hop path", old,
+			Route{Valid: true, Path: []int{3}},
+			ConvergenceBaseMin, true},
+		{"both invalid is a partition", Route{}, Route{}, 0, false},
 	}
-	want := ConvergenceBaseMin + ConvergencePerHopMin*3
-	if m != want {
-		t.Fatalf("convergence = %v, want %v", m, want)
-	}
-	// Longer replacement paths take longer to explore.
-	longer := Route{Valid: true, Path: []int{1, 4, 5, 6, 3}}
-	m2, _ := ConvergenceMinutes(old, longer)
-	if m2 <= m {
-		t.Fatal("longer replacement should converge slower")
-	}
-	// Partition.
-	if _, ok := ConvergenceMinutes(old, Route{}); ok {
-		t.Fatal("invalid new route must report no convergence")
-	}
-	// Nothing lost.
-	if m3, ok := ConvergenceMinutes(Route{}, nw); !ok || m3 != 0 {
-		t.Fatalf("fresh route should cost nothing: %v %v", m3, ok)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, ok := ConvergenceMinutes(tc.old, tc.new)
+			if ok != tc.converges {
+				t.Fatalf("converges = %v, want %v", ok, tc.converges)
+			}
+			if m != tc.wantMin {
+				t.Fatalf("minutes = %v, want %v", m, tc.wantMin)
+			}
+			if m < 0 {
+				t.Fatalf("negative convergence time %v", m)
+			}
+		})
 	}
 }
 

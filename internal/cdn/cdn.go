@@ -40,6 +40,30 @@ type Config struct {
 	BaseASN         int     // first site ASN (default 65000)
 }
 
+// Validate rejects nonsensical parameters. Zero values are fine (they
+// select defaults).
+func (c *Config) Validate() error {
+	if c.TransitsPerSite < 0 || c.BaseASN < 0 {
+		return fmt.Errorf("cdn: TransitsPerSite/BaseASN must be non-negative")
+	}
+	for region, n := range c.SitesPerRegion {
+		if n < 0 {
+			return fmt.Errorf("cdn: SitesPerRegion[%v] = %d must be non-negative", region, n)
+		}
+	}
+	for name, v := range map[string]float64{
+		"EyeballPeerProb": c.EyeballPeerProb, "TransitPeerProb": c.TransitPeerProb,
+	} {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("cdn: %s = %v must be a probability in [0, 1]", name, v)
+		}
+	}
+	if math.IsNaN(c.ServerMs) || math.IsInf(c.ServerMs, 0) || c.ServerMs < 0 {
+		return fmt.Errorf("cdn: ServerMs = %v must be finite and non-negative", c.ServerMs)
+	}
+	return nil
+}
+
 func (c *Config) setDefaults() {
 	if c.SitesPerRegion == nil {
 		c.SitesPerRegion = map[geo.Region]int{
@@ -225,24 +249,42 @@ func isContracted(contracted []int, as int) bool {
 }
 
 // Grooming describes manual anycast route optimization: per-site AS-path
-// prepending and per-site suppressed links. Site indices key both maps.
+// prepending, per-site suppressed links, and per-site withdrawal (a full
+// drain — the site stops announcing the anycast prefix entirely, as an
+// operator does ahead of planned maintenance or when a site is failing).
+// Site indices key all three maps.
 type Grooming struct {
 	Prepend  map[int]int
 	Suppress map[int]map[int]bool
+	Withdraw map[int]bool
+}
+
+// Drain returns a grooming that withdraws the given sites from the
+// anycast prefix, leaving everything else at defaults.
+func Drain(sites ...int) *Grooming {
+	w := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		w[s] = true
+	}
+	return &Grooming{Withdraw: w}
 }
 
 // Announcements returns the anycast announcement set under the grooming
-// (nil for the ungroomed default).
+// (nil for the ungroomed default). Withdrawn sites are absent.
 func (c *CDN) Announcements(g *Grooming) []bgp.Announcement {
-	anns := make([]bgp.Announcement, len(c.Sites))
+	anns := make([]bgp.Announcement, 0, len(c.Sites))
 	for i, s := range c.Sites {
-		anns[i] = bgp.Announcement{Origin: s.AS.ID}
+		if g != nil && g.Withdraw[i] {
+			continue
+		}
+		a := bgp.Announcement{Origin: s.AS.ID}
 		if g != nil {
-			anns[i].Prepend = g.Prepend[i]
+			a.Prepend = g.Prepend[i]
 			if sup := g.Suppress[i]; len(sup) > 0 {
-				anns[i].SuppressLinks = sup
+				a.SuppressLinks = sup
 			}
 		}
+		anns = append(anns, a)
 	}
 	return anns
 }
@@ -253,7 +295,11 @@ func (c *CDN) AnycastRIB(g *Grooming) (*bgp.RIB, error) {
 	if g == nil && c.anycastRIB != nil {
 		return c.anycastRIB, nil
 	}
-	rib, err := bgp.Compute(c.Topo, c.Announcements(g))
+	anns := c.Announcements(g)
+	if len(anns) == 0 {
+		return nil, fmt.Errorf("cdn: grooming withdraws every site; nothing announces the anycast prefix")
+	}
+	rib, err := bgp.Compute(c.Topo, anns)
 	if err != nil {
 		return nil, err
 	}

@@ -61,6 +61,33 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Validate checks every sub-configuration, rejecting nonsensical
+// parameters (negative counts and rates, NaN, probabilities above 1)
+// instead of silently building a broken world. Zero values still mean
+// "use the default". NewScenario calls this; standalone callers can use
+// it to fail fast before an expensive build.
+func (c *Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Provider.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.CDN.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.DNS.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Net.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
 // Scenario is a fully built simulation world shared by the experiments.
 type Scenario struct {
 	Cfg    Config
@@ -82,6 +109,9 @@ type Scenario struct {
 // simulator.
 func NewScenario(cfg Config) (*Scenario, error) {
 	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	topo, err := topology.Generate(cfg.Topology)
 	if err != nil {
 		return nil, fmt.Errorf("core: topology: %w", err)
@@ -159,9 +189,11 @@ func Experiments() []Experiment {
 		{"xgroom", "§3.2.2 open question: anycast grooming, nature vs nurture", GroomingStudy},
 		{"xwan", "§3.3.2 open question: single-WAN behavior of public routes", SingleWANStudy},
 		{"xsplit", "§4: split TCP with WAN vs public backend", SplitTCPStudy},
-		{"xavail", "§4: availability under failures and peer fragility", AvailabilityStudy},
+		{"xdiv", "§4: route diversity and peer fragility", RouteDiversityStudy},
 		{"xcap", "Edge Fabric's day job: capacity-driven egress overrides", CapacityStudy},
 		{"xdyn", "§4: site outages — anycast failover vs DNS caching", SiteOutageStudy},
+		{"xfaults", "Injected faults: BGP-vs-alternates degradation and blackholes", FaultStudy},
+		{"xavail", "Injected faults: anycast vs DNS-redirection availability", AnycastFaultAvailability},
 		{"xhybrid", "§4: hybrid anycast + DNS redirection policies", HybridStudy},
 		{"xodin", "Odin-style measurement pipeline: budget vs prediction quality", OdinStudy},
 		{"xsites", "§3.2.2: CDN build-out — how many sites are enough?", SiteDensityStudy},

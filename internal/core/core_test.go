@@ -38,8 +38,9 @@ func cell(t *testing.T, r Result, table, row, col string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "t31", "t311", "fig3", "t32", "fig4",
-		"fig5", "t33", "t4g", "xpeer", "xgroom", "xwan", "xsplit", "xavail", "xcap",
-		"xdyn", "xhybrid", "xodin", "xsites", "xinfer", "xcorridor", "xqoe", "afate", "aecs", "apni"}
+		"fig5", "t33", "t4g", "xpeer", "xgroom", "xwan", "xsplit", "xdiv", "xcap",
+		"xdyn", "xfaults", "xavail", "xhybrid", "xodin", "xsites", "xinfer", "xcorridor",
+		"xqoe", "afate", "aecs", "apni"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(got), len(want))
@@ -307,7 +308,7 @@ func TestSplitTCPShape(t *testing.T) {
 
 func TestAvailabilityShape(t *testing.T) {
 	s := scenario(t, 13)
-	r, err := AvailabilityStudy(s)
+	r, err := RouteDiversityStudy(s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -265,10 +265,11 @@ func SplitTCPStudy(s *Scenario) (Result, error) {
 	return res, nil
 }
 
-// AvailabilityStudy explores §4's availability discussion: route
+// RouteDiversityStudy explores §4's availability discussion: route
 // diversity as failover insurance, and the outsized fragility of small
 // peers whose capacity concentrates on a single interconnection.
-func AvailabilityStudy(s *Scenario) (Result, error) {
+// (Scheduled fault injection lives in AnycastFaultAvailability/xavail.)
+func RouteDiversityStudy(s *Scenario) (Result, error) {
 	traces, err := s.efTraces()
 	if err != nil {
 		return Result{}, err
@@ -316,7 +317,7 @@ func AvailabilityStudy(s *Scenario) (Result, error) {
 		Columns: []string{"preferred_route_only", "with_failover"}}
 	tb.AddRow("baseline_failures", prefA, anyA)
 	tb.AddRow("fragile_small_peers_5x", prefB, anyB)
-	res := Result{ID: "xavail", Title: "Availability under failures"}
+	res := Result{ID: "xdiv", Title: "Route diversity as failover insurance"}
 	res.Tables = append(res.Tables, tb)
 	res.Notes = append(res.Notes,
 		"route diversity buys availability even when it buys no latency; fragile peers erode the preferred-route uptime far more than the failover uptime")

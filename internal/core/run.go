@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// RunByIDContext runs one experiment by registry ID, honoring context
+// cancellation and, when timeout > 0, a per-experiment deadline. The
+// experiment body runs in a goroutine; a panic inside it is recovered and
+// returned as an error. On cancellation or timeout the goroutine cannot
+// be preempted and is abandoned — the scenario must then be DISCARDED,
+// because the stray goroutine may still be mutating its caches. (Callers
+// that stop on first error, as RunAllContext does, get this for free.)
+func RunByIDContext(ctx context.Context, s *Scenario, id string, timeout time.Duration) (Result, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return runWithContext(ctx, s, e, timeout)
+		}
+	}
+	return Result{}, fmt.Errorf("core: unknown experiment %q", id)
+}
+
+// RunAllContext runs every registered experiment in order under the
+// context, with an optional per-experiment timeout, stopping at the first
+// error. The results so far are returned alongside the error.
+func RunAllContext(ctx context.Context, s *Scenario, timeout time.Duration) ([]Result, error) {
+	var out []Result
+	for _, e := range Experiments() {
+		r, err := runWithContext(ctx, s, e, timeout)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runWithContext(ctx context.Context, s *Scenario, e Experiment, timeout time.Duration) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("core: experiment %s: %w", e.ID, err)
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	type outcome struct {
+		r   Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("core: experiment %s panicked: %v", e.ID, p)}
+			}
+		}()
+		r, err := e.Run(s)
+		ch <- outcome{r: r, err: err}
+	}()
+	select {
+	case o := <-ch:
+		return o.r, o.err
+	case <-ctx.Done():
+		return Result{}, fmt.Errorf("core: experiment %s: %w", e.ID, ctx.Err())
+	}
+}

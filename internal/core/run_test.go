@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunByIDContextUnknown(t *testing.T) {
+	s := scenario(t, 1)
+	_, err := RunByIDContext(context.Background(), s, "nope", 0)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want unknown-experiment error, got %v", err)
+	}
+}
+
+func TestRunByIDContextCancelled(t *testing.T) {
+	s := scenario(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunByIDContext(ctx, s, "fig1", 0)
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("want context-canceled error, got %v", err)
+	}
+}
+
+func TestRunByIDContextTimeout(t *testing.T) {
+	// A fresh scenario has no cached traces, so fig1 takes well over a
+	// nanosecond; the deadline must fire. The scenario is discarded after.
+	s := scenario(t, 2)
+	_, err := RunByIDContext(context.Background(), s, "fig1", time.Nanosecond)
+	if err == nil || !strings.Contains(err.Error(), "deadline exceeded") {
+		t.Fatalf("want deadline-exceeded error, got %v", err)
+	}
+}
+
+func TestRunByIDContextCompletes(t *testing.T) {
+	s := scenario(t, 1)
+	r, err := RunByIDContext(context.Background(), s, "t32", time.Minute)
+	if err != nil {
+		t.Fatalf("RunByIDContext: %v", err)
+	}
+	if r.ID != "t32" {
+		t.Fatalf("got result %q, want t32", r.ID)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative eyeballs", func(c *Config) { c.Topology.EyeballsPerRegion = -1 }},
+		{"prob above one", func(c *Config) { c.Provider.PNIProb = 1.5 }},
+		{"NaN impair prob", func(c *Config) { c.Net.LinkImpairedProb = math.NaN() }},
+		{"negative days", func(c *Config) { c.Workload.Days = -3 }},
+		{"wan stretch below one", func(c *Config) { c.Provider.WANStretch = 0.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig(9)
+			tc.mut(&cfg)
+			if _, err := NewScenario(cfg); err == nil {
+				t.Fatalf("NewScenario accepted invalid config (%s)", tc.name)
+			}
+		})
+	}
+}

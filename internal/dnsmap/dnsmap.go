@@ -9,6 +9,8 @@
 package dnsmap
 
 import (
+	"fmt"
+	"math"
 	"sort"
 
 	"beatbgp/internal/geo"
@@ -25,6 +27,19 @@ type Config struct {
 	// ISPECSProb is the probability that an ISP resolver sends ECS
 	// (default 0.001, the paper's "<0.1% of ASes").
 	ISPECSProb float64
+}
+
+// Validate rejects nonsensical parameters. Zero values are fine (they
+// select defaults).
+func (c *Config) Validate() error {
+	for name, v := range map[string]float64{
+		"PublicResolverProb": c.PublicResolverProb, "ISPECSProb": c.ISPECSProb,
+	} {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("dnsmap: %s = %v must be a probability in [0, 1]", name, v)
+		}
+	}
+	return nil
 }
 
 func (c *Config) setDefaults() {

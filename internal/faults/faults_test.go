@@ -1,0 +1,260 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"beatbgp/internal/cable"
+	"beatbgp/internal/geo"
+	"beatbgp/internal/topology"
+)
+
+// testTopo builds a tiny world: two transits spanning the hub cities and
+// two stubs, one multi-city and one single-homed at NewYork.
+func testTopo(t *testing.T) (*topology.Topo, map[string]int, map[string]int) {
+	t.Helper()
+	catalog := geo.World()
+	graph, err := cable.WorldGraph(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := &topology.Topo{Catalog: catalog, Graph: graph}
+	city := func(name string) int {
+		c, ok := catalog.ByName(name)
+		if !ok {
+			t.Fatalf("city %s", name)
+		}
+		return c.ID
+	}
+	cities := map[string]int{
+		"NewYork": city("NewYork"), "London": city("London"), "Tokyo": city("Tokyo"),
+	}
+	hub := []int{cities["NewYork"], cities["London"], cities["Tokyo"]}
+	ids := map[string]int{}
+	add := func(name string, class topology.Class, cs []int) {
+		a, err := topo.AddAS(len(ids)+1, name, class, geo.NorthAmerica, cs, 1.1, topology.EarlyExit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = a.ID
+	}
+	add("TRa", topology.Transit, hub)
+	add("TRb", topology.Transit, hub)
+	add("EYE", topology.Eyeball, hub[:2])
+	add("STUB", topology.Eyeball, hub[:1])
+	conn := func(a, b string, rel topology.Rel, cs []int) int {
+		l, err := topo.Connect(ids[a], ids[b], rel, cs, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l.ID
+	}
+	conn("TRa", "TRb", topology.P2P, nil)     // multi-city
+	conn("EYE", "TRa", topology.C2P, nil)     // NewYork+London
+	conn("STUB", "TRb", topology.C2P, nil)    // NewYork only
+	return topo, ids, cities
+}
+
+func TestTimelineValidation(t *testing.T) {
+	topo, ids, cities := testTopo(t)
+	bad := []Event{
+		{Kind: LinkDown, Start: -1, Duration: 10, Target: 0},
+		{Kind: LinkDown, Start: 0, Duration: 0, Target: 0},
+		{Kind: LinkDown, Start: 0, Duration: 10, Target: len(topo.Links)},
+		{Kind: CableCut, Start: 0, Duration: 10, Target: topo.Graph.NumEdges()},
+		{Kind: ASOutage, Start: 0, Duration: 10, Target: -1},
+		{Kind: FacilityOutage, Start: 0, Duration: 10, Target: topo.Catalog.Len()},
+		{Kind: CongestionStorm, Start: 0, Duration: 10, Target: cities["NewYork"], MagnitudeMs: 0},
+		{Kind: Kind(99), Start: 0, Duration: 10},
+	}
+	for i, e := range bad {
+		if _, err := New(topo, []Event{e}); err == nil {
+			t.Errorf("bad event %d (%v) accepted", i, e)
+		}
+	}
+	_ = ids
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if tl, err := New(topo, nil); err != nil || tl == nil {
+		t.Errorf("empty timeline rejected: %v", err)
+	}
+}
+
+func TestLinkDownAndBoundaries(t *testing.T) {
+	topo, _, _ := testTopo(t)
+	tl, err := New(topo, []Event{
+		{Kind: LinkDown, Start: 100, Duration: 50, Target: 1},
+		{Kind: LinkDown, Start: 10, Duration: 20, Target: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events are kept sorted regardless of input order.
+	ev := tl.Events()
+	if ev[0].Start != 10 || ev[1].Start != 100 {
+		t.Fatalf("events not sorted: %v", ev)
+	}
+	if !tl.LinkDownAt(0, 10) || !tl.LinkDownAt(0, 29.9) || tl.LinkDownAt(0, 30) || tl.LinkDownAt(0, 9.9) {
+		t.Fatal("link 0 outage window wrong")
+	}
+	if tl.LinkDownAt(1, 10) || !tl.LinkDownAt(1, 120) {
+		t.Fatal("link 1 outage window wrong")
+	}
+	down := tl.DownLinks(120)
+	if !reflect.DeepEqual(down, map[int]bool{1: true}) {
+		t.Fatalf("DownLinks(120) = %v", down)
+	}
+	if tl.DownLinks(500) != nil {
+		t.Fatal("DownLinks outside any event should be nil")
+	}
+	want := []float64{10, 30, 100, 150}
+	if got := tl.Boundaries(0, 1e9); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Boundaries = %v, want %v", got, want)
+	}
+	if got := tl.Boundaries(20, 120); !reflect.DeepEqual(got, []float64{30, 100}) {
+		t.Fatalf("windowed Boundaries = %v", got)
+	}
+	if n := len(tl.ActiveAt(120)); n != 1 {
+		t.Fatalf("ActiveAt(120) = %d events", n)
+	}
+}
+
+func TestFacilityRule(t *testing.T) {
+	topo, ids, cities := testTopo(t)
+	// Facility outage at NewYork: only STUB's single-homed uplink (link 2)
+	// is anchored exclusively there; the multi-city links survive.
+	tl, err := New(topo, []Event{
+		{Kind: FacilityOutage, Start: 0, Duration: 60, Target: cities["NewYork"]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tl.LinkDownAt(2, 30) {
+		t.Fatal("single-homed stub uplink should drop with its facility")
+	}
+	if tl.LinkDownAt(0, 30) || tl.LinkDownAt(1, 30) {
+		t.Fatal("multi-facility links must survive a single-facility outage")
+	}
+
+	// AS outage downs every link of the AS.
+	tl2, err := New(topo, []Event{
+		{Kind: ASOutage, Start: 0, Duration: 60, Target: ids["TRa"]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tl2.LinkDownAt(0, 1) || !tl2.LinkDownAt(1, 1) {
+		t.Fatal("AS outage must down all adjacent links")
+	}
+	if tl2.LinkDownAt(2, 1) {
+		t.Fatal("AS outage downed an unrelated link")
+	}
+}
+
+func TestCableCutFacilities(t *testing.T) {
+	topo, _, cities := testTopo(t)
+	// Find a physical edge incident to NewYork; cutting it darkens the
+	// NewYork and far-end facilities — the STUB uplink is anchored only at
+	// NewYork, so it drops.
+	edges := topo.Graph.EdgesAt(cities["NewYork"])
+	if len(edges) == 0 {
+		t.Fatal("NewYork has no cable edges")
+	}
+	tl, err := New(topo, []Event{
+		{Kind: CableCut, Start: 0, Duration: 600, Target: edges[0]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tl.LinkDownAt(2, 100) {
+		t.Fatal("cable cut at the landing city must drop the single-homed uplink")
+	}
+	if tl.LinkDownAt(0, 100) {
+		t.Fatal("multi-facility transit peering must ride out the cut")
+	}
+}
+
+func TestStormAndStale(t *testing.T) {
+	topo, _, cities := testTopo(t)
+	tl, err := New(topo, []Event{
+		{Kind: CongestionStorm, Start: 0, Duration: 100, Target: cities["London"], MagnitudeMs: 25},
+		{Kind: CongestionStorm, Start: 50, Duration: 100, Target: cities["London"], MagnitudeMs: 10},
+		{Kind: LDNSStale, Start: 10, Duration: 5, Target: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Links 0 (TRa-TRb) and 1 (EYE-TRa) interconnect at London; link 2
+	// (STUB uplink, NewYork only) does not.
+	if got := tl.ExtraLinkMs(0, 75); got != 35 {
+		t.Fatalf("concurrent storms should add up: got %v", got)
+	}
+	if got := tl.ExtraLinkMs(1, 10); got != 25 {
+		t.Fatalf("storm magnitude = %v", got)
+	}
+	if got := tl.ExtraLinkMs(2, 75); got != 0 {
+		t.Fatalf("NewYork-only link stormed at London: %v", got)
+	}
+	if !tl.DNSStale(12) || tl.DNSStale(20) {
+		t.Fatal("staleness window wrong")
+	}
+	// Storms never take links down.
+	if tl.DownLinks(75) != nil {
+		t.Fatal("storms must not down links")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	topo, _, _ := testTopo(t)
+	cfg := GenConfig{
+		Seed: 7, HorizonMinutes: 24 * 60,
+		CableCuts: 2, LinkResets: 3, ASOutages: 1, Storms: 2, StaleWindows: 1,
+		PlannedFraction: 0.5,
+	}
+	a, err := Generate(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if got := len(a.Events()); got != 9 {
+		t.Fatalf("generated %d events, want 9", got)
+	}
+	c, err := Generate(topo, GenConfig{Seed: 8, HorizonMinutes: 24 * 60, CableCuts: 2, LinkResets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events()[:5], c.Events()[:5]) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, e := range a.Events() {
+		if e.Start < 0 || e.Start >= cfg.HorizonMinutes || e.Duration <= 0 {
+			t.Fatalf("generated event out of bounds: %v", e)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	topo, _, _ := testTopo(t)
+	if _, err := Generate(nil, GenConfig{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := Generate(topo, GenConfig{CableCuts: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := Generate(topo, GenConfig{PlannedFraction: 2}); err == nil {
+		t.Error("PlannedFraction > 1 accepted")
+	}
+	if _, err := Generate(topo, GenConfig{StormMagnitudeMs: -3, Storms: 1}); err == nil {
+		t.Error("negative storm magnitude accepted")
+	}
+	if _, err := Generate(topo, GenConfig{LinkResets: 1, CandidateLinks: []int{}}); err == nil {
+		t.Error("empty explicit candidate pool accepted")
+	}
+}

@@ -47,10 +47,12 @@ func (p Prefix) NumAddrs() uint64 {
 }
 
 // Nth returns the nth address inside the prefix (0 = network address).
-// It panics if n is out of range — callers size by NumAddrs.
+// An out-of-range n is clamped to the last address — callers size by
+// NumAddrs, and clamping keeps a miscounted caller inside the prefix
+// instead of crashing or escaping it.
 func (p Prefix) Nth(n uint64) uint32 {
 	if n >= p.NumAddrs() {
-		panic(fmt.Sprintf("inet: address %d out of range for %v", n, p))
+		n = p.NumAddrs() - 1
 	}
 	return p.Addr + uint32(n)
 }

@@ -67,12 +67,10 @@ func TestNth(t *testing.T) {
 	if FormatAddr(p.Nth(0)) != "10.1.2.0" || FormatAddr(p.Nth(255)) != "10.1.2.255" {
 		t.Fatal("Nth wrong")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range Nth should panic")
-		}
-	}()
-	p.Nth(256)
+	// Out-of-range indices clamp to the last address in the prefix.
+	if FormatAddr(p.Nth(256)) != "10.1.2.255" {
+		t.Fatalf("out-of-range Nth = %s, want clamp to 10.1.2.255", FormatAddr(p.Nth(256)))
+	}
 }
 
 func TestAllocator(t *testing.T) {

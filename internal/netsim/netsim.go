@@ -18,6 +18,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 
 	"beatbgp/internal/netpath"
@@ -60,6 +61,40 @@ type Config struct {
 	// DisableSharedFate turns off prefix-level congestion entirely; the
 	// ablation for the §3.1.1 hypothesis.
 	DisableSharedFate bool
+}
+
+// Validate rejects nonsensical parameters. Zero values are fine (they
+// select defaults); negative, NaN, or infinite rates and durations, and
+// probabilities above 1, are errors.
+func (c *Config) Validate() error {
+	for name, v := range map[string]float64{
+		"HorizonMinutes":          c.HorizonMinutes,
+		"LastMileDiurnalMedianMs": c.LastMileDiurnalMedianMs,
+		"PrefixIncidentsPerDay":   c.PrefixIncidentsPerDay,
+		"PrefixIncidentMeanMin":   c.PrefixIncidentMeanMin,
+		"LinkImpairedProb":        c.LinkImpairedProb,
+		"LinkImpairMinMs":         c.LinkImpairMinMs,
+		"LinkImpairMaxMs":         c.LinkImpairMaxMs,
+		"LinkIncidentsPerDay":     c.LinkIncidentsPerDay,
+		"LinkIncidentMeanMin":     c.LinkIncidentMeanMin,
+		"LinkFailuresPerDay":      c.LinkFailuresPerDay,
+		"LinkRepairMeanMin":       c.LinkRepairMeanMin,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("netsim: %s = %v must be finite and non-negative", name, v)
+		}
+	}
+	if c.LinkImpairedProb > 1 {
+		return fmt.Errorf("netsim: LinkImpairedProb = %v must be at most 1", c.LinkImpairedProb)
+	}
+	if math.IsNaN(c.PNIImpairFactor) || math.IsInf(c.PNIImpairFactor, 0) {
+		return fmt.Errorf("netsim: PNIImpairFactor = %v must be finite", c.PNIImpairFactor)
+	}
+	if c.LinkImpairMinMs > 0 && c.LinkImpairMaxMs > 0 && c.LinkImpairMinMs > c.LinkImpairMaxMs {
+		return fmt.Errorf("netsim: LinkImpairMinMs %v exceeds LinkImpairMaxMs %v",
+			c.LinkImpairMinMs, c.LinkImpairMaxMs)
+	}
+	return nil
 }
 
 func (c *Config) setDefaults() {
@@ -118,6 +153,17 @@ const (
 	kindLinkFail
 )
 
+// FaultOverlay is a scheduled fault process (typically a faults.Timeline)
+// composed on top of the stochastic incidents: a link is down when either
+// process says so, and injected congestion adds to the drawn congestion.
+type FaultOverlay interface {
+	// LinkDownAt reports whether an injected fault takes the link down at
+	// minute t.
+	LinkDownAt(linkID int, t float64) bool
+	// ExtraLinkMs returns injected congestion on the link at minute t.
+	ExtraLinkMs(linkID int, t float64) float64
+}
+
 // Sim evaluates the congestion model. Safe for use from one goroutine.
 type Sim struct {
 	topo *topology.Topo
@@ -130,6 +176,7 @@ type Sim struct {
 	// failRate optionally scales a link's failure rate (e.g. fragile
 	// small peers). Set before first Failed query for the link.
 	failRate map[int]float64
+	faults   FaultOverlay
 }
 
 type prefixProc struct {
@@ -162,6 +209,15 @@ func New(t *topology.Topo, cfg Config) *Sim {
 
 // Config returns the effective configuration (defaults applied).
 func (s *Sim) Config() Config { return s.cfg }
+
+// SetFaults installs (or, with nil, removes) a scheduled fault overlay.
+// The overlay composes with the stochastic processes — it does not replace
+// them — and may be swapped at any time; the underlying stochastic
+// schedules are unaffected.
+func (s *Sim) SetFaults(f FaultOverlay) { s.faults = f }
+
+// Faults returns the installed overlay, or nil.
+func (s *Sim) Faults() FaultOverlay { return s.faults }
 
 // rngFor derives a deterministic generator for one entity, independent of
 // query order.
@@ -294,10 +350,14 @@ func (s *Sim) LastMileMs(p topology.Prefix, t float64) float64 {
 }
 
 // LinkMs returns the route-specific latency contribution of one
-// interdomain link at time t.
+// interdomain link at time t, including any injected congestion storms.
 func (s *Sim) LinkMs(linkID int, t float64) float64 {
 	lp := s.linkProcFor(linkID)
-	return lp.impairMs + lp.diurnalMs*diurnal(t, lp.phase) + incidentMs(lp.incidents, t)
+	ms := lp.impairMs + lp.diurnalMs*diurnal(t, lp.phase) + incidentMs(lp.incidents, t)
+	if s.faults != nil {
+		ms += s.faults.ExtraLinkMs(linkID, t)
+	}
+	return ms
 }
 
 // RouteRTTMs returns the instantaneous RTT of a resolved route toward the
@@ -378,8 +438,12 @@ func (s *Sim) failSchedule(linkID int) []incident {
 	return f
 }
 
-// LinkFailed reports whether the interdomain link is down at time t.
+// LinkFailed reports whether the interdomain link is down at time t,
+// either by the stochastic failure process or by an injected fault.
 func (s *Sim) LinkFailed(linkID int, t float64) bool {
+	if s.faults != nil && s.faults.LinkDownAt(linkID, t) {
+		return true
+	}
 	for _, in := range s.failSchedule(linkID) {
 		if in.start > t {
 			return false
@@ -401,7 +465,8 @@ func (s *Sim) RouteUp(r netpath.Route, t float64) bool {
 	return true
 }
 
-// DowntimeMinutes sums the link's scheduled outage minutes over [t0, t1).
+// DowntimeMinutes sums the link's stochastic outage minutes over [t0, t1).
+// Injected faults are not included; query the overlay's own schedule.
 func (s *Sim) DowntimeMinutes(linkID int, t0, t1 float64) float64 {
 	total := 0.0
 	for _, in := range s.failSchedule(linkID) {

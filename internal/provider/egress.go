@@ -63,6 +63,32 @@ func (p *Provider) EgressOptions(rib *bgp.RIB, popCity int) []EgressOption {
 	return out
 }
 
+// SurvivingOptions filters an egress-option list down to the options whose
+// routes avoid every link the predicate reports down, preserving policy
+// order. This is the Edge-Fabric-style override under faults: when the
+// BGP-preferred option (index 0) dies, the controller shifts traffic to
+// the best surviving alternative instead of blackholing through
+// convergence. A nil predicate returns the list unchanged.
+func SurvivingOptions(opts []EgressOption, down func(linkID int) bool) []EgressOption {
+	if down == nil {
+		return opts
+	}
+	var out []EgressOption
+	for _, o := range opts {
+		ok := !down(o.Link)
+		for _, l := range o.Route.Links {
+			if !ok || down(l) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
 // PremiumAnnouncement announces the provider's prefix over every link:
 // ingress near the client, WAN carriage the rest of the way.
 func (p *Provider) PremiumAnnouncement() bgp.Announcement {

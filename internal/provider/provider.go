@@ -54,6 +54,38 @@ type Config struct {
 	EuropeAsiaCorridor bool
 }
 
+// Validate rejects nonsensical parameters. Zero values are fine (they
+// select defaults).
+func (c *Config) Validate() error {
+	if c.ASN < 0 {
+		return fmt.Errorf("provider: ASN = %d must be non-negative", c.ASN)
+	}
+	if c.TransitCount < 0 || c.TransitPeerMax < 0 {
+		return fmt.Errorf("provider: TransitCount/TransitPeerMax must be non-negative")
+	}
+	for region, n := range c.PoPsPerRegion {
+		if n < 0 {
+			return fmt.Errorf("provider: PoPsPerRegion[%v] = %d must be non-negative", region, n)
+		}
+	}
+	for name, v := range map[string]float64{
+		"PNIProb": c.PNIProb, "PublicPeerProb": c.PublicPeerProb,
+		"PeerKeepFraction": c.PeerKeepFraction,
+	} {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("provider: %s = %v must be a probability in [0, 1]", name, v)
+		}
+	}
+	if math.IsNaN(c.WANStretch) || math.IsInf(c.WANStretch, 0) || c.WANStretch < 0 ||
+		(c.WANStretch > 0 && c.WANStretch < 1) {
+		return fmt.Errorf("provider: WANStretch = %v must be at least 1 (or 0 for the default)", c.WANStretch)
+	}
+	if math.IsNaN(c.DCLocalRadiusKm) || math.IsInf(c.DCLocalRadiusKm, 0) || c.DCLocalRadiusKm < 0 {
+		return fmt.Errorf("provider: DCLocalRadiusKm = %v must be finite and non-negative", c.DCLocalRadiusKm)
+	}
+	return nil
+}
+
 func (c *Config) setDefaults() {
 	if c.Name == "" {
 		c.Name = "CP"

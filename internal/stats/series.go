@@ -68,11 +68,15 @@ type Row struct {
 	Cells []float64
 }
 
-// AddRow appends a row; the number of cells must match Columns.
+// AddRow appends a row. An arity mismatch with Columns is repaired rather
+// than fatal: missing cells are padded with NaN (rendered as such, so the
+// defect is visible in the output) and extras are dropped.
 func (t *Table) AddRow(label string, cells ...float64) {
-	if len(cells) != len(t.Columns) {
-		panic(fmt.Sprintf("stats: row %q has %d cells, table %q has %d columns",
-			label, len(cells), t.Name, len(t.Columns)))
+	if len(cells) > len(t.Columns) {
+		cells = cells[:len(t.Columns)]
+	}
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, math.NaN())
 	}
 	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
 }

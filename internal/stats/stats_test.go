@@ -219,14 +219,19 @@ func TestTable(t *testing.T) {
 	}
 }
 
-func TestTableAddRowPanicsOnArity(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on cell-count mismatch")
-		}
-	}()
-	tb := Table{Columns: []string{"a"}}
-	tb.AddRow("x", 1, 2)
+func TestTableAddRowRepairsArity(t *testing.T) {
+	tb := Table{Columns: []string{"a", "b"}}
+	tb.AddRow("extra", 1, 2, 3) // extras dropped
+	tb.AddRow("short", 1)       // padded with NaN
+	if v, ok := tb.Cell("extra", "b"); !ok || v != 2 {
+		t.Fatalf("extra row b = %v %v", v, ok)
+	}
+	if _, ok := tb.Cell("extra", "c"); ok {
+		t.Fatal("dropped cell still addressable")
+	}
+	if v, ok := tb.Cell("short", "b"); !ok || !math.IsNaN(v) {
+		t.Fatalf("short row b = %v, want NaN", v)
+	}
 }
 
 func TestSeriesRender(t *testing.T) {

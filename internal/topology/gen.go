@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"beatbgp/internal/cable"
@@ -28,6 +29,28 @@ type GenConfig struct {
 	// BigEyeballTier1Prob is the probability that a top-decile eyeball
 	// also buys transit directly from a Tier-1 (default 0.5).
 	BigEyeballTier1Prob float64
+}
+
+// Validate rejects nonsensical generation parameters. Zero values are
+// fine (they select defaults).
+func (c *GenConfig) Validate() error {
+	for name, v := range map[string]int{
+		"Tier1Count": c.Tier1Count, "TransitsPerRegion": c.TransitsPerRegion,
+		"EyeballsPerRegion": c.EyeballsPerRegion, "PrefixesPerEyeball": c.PrefixesPerEyeball,
+	} {
+		if v < 0 {
+			return fmt.Errorf("topology: %s = %d must be non-negative", name, v)
+		}
+	}
+	for name, v := range map[string]float64{
+		"TransitPeerProb": c.TransitPeerProb, "EyeballPeerProb": c.EyeballPeerProb,
+		"BigEyeballTier1Prob": c.BigEyeballTier1Prob,
+	} {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("topology: %s = %v must be a probability in [0, 1]", name, v)
+		}
+	}
+	return nil
 }
 
 func (c *GenConfig) setDefaults() {

@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"beatbgp/internal/netpath"
 	"beatbgp/internal/netsim"
@@ -23,6 +24,18 @@ type Config struct {
 	WindowMin  float64 // default 15
 	TopK       int     // routes sprayed per ⟨PoP, prefix⟩ (default 3)
 	SessionsPW int     // sampled sessions per route per window (default 9)
+}
+
+// Validate rejects nonsensical parameters. Zero values are fine (they
+// select defaults).
+func (c *Config) Validate() error {
+	if c.Days < 0 || c.TopK < 0 || c.SessionsPW < 0 {
+		return fmt.Errorf("workload: Days/TopK/SessionsPW must be non-negative")
+	}
+	if math.IsNaN(c.WindowMin) || math.IsInf(c.WindowMin, 0) || c.WindowMin < 0 {
+		return fmt.Errorf("workload: WindowMin = %v must be finite and non-negative", c.WindowMin)
+	}
+	return nil
 }
 
 func (c *Config) setDefaults() {

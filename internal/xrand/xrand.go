@@ -74,10 +74,12 @@ func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
-// Intn returns a uniform value in [0, n). It panics if n <= 0.
+// Intn returns a uniform value in [0, n). A non-positive n yields 0 (the
+// only index an empty or degenerate range can offer) without consuming a
+// draw, so callers never crash on an empty pool.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
-		panic("xrand: Intn with non-positive n")
+		return 0
 	}
 	return int(r.Uint64() % uint64(n))
 }
@@ -154,10 +156,11 @@ type Zipf struct {
 	r   *Rand
 }
 
-// NewZipf returns a Zipf sampler over n ranks with exponent s > 0.
+// NewZipf returns a Zipf sampler over n ranks with exponent s > 0. A
+// non-positive n is clamped to a single rank.
 func NewZipf(r *Rand, n int, s float64) *Zipf {
 	if n <= 0 {
-		panic("xrand: NewZipf with non-positive n")
+		n = 1
 	}
 	cdf := make([]float64, n)
 	sum := 0.0
@@ -195,23 +198,25 @@ func (z *Zipf) Weight(i int) float64 {
 }
 
 // WeightedChoice picks an index in [0, len(weights)) with probability
-// proportional to weights[i]. Weights must be non-negative with a positive
-// sum; otherwise it panics.
+// proportional to weights[i]. Negative weights count as zero; when the sum
+// is not positive (including an empty slice) it returns 0 without
+// consuming a draw, mirroring Intn's degenerate-pool behavior.
 func (r *Rand) WeightedChoice(weights []float64) int {
 	sum := 0.0
 	for _, w := range weights {
-		if w < 0 {
-			panic("xrand: negative weight")
+		if w > 0 {
+			sum += w
 		}
-		sum += w
 	}
 	if sum <= 0 {
-		panic("xrand: weights sum to zero")
+		return 0
 	}
 	u := r.Float64() * sum
 	acc := 0.0
 	for i, w := range weights {
-		acc += w
+		if w > 0 {
+			acc += w
+		}
 		if u < acc {
 			return i
 		}

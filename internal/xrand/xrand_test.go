@@ -80,13 +80,20 @@ func TestIntnBounds(t *testing.T) {
 	}
 }
 
-func TestIntnPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Intn(0) should panic")
-		}
-	}()
-	New(1).Intn(0)
+func TestIntnDegenerate(t *testing.T) {
+	r := New(1)
+	if got := r.Intn(0); got != 0 {
+		t.Fatalf("Intn(0) = %d, want 0", got)
+	}
+	if got := r.Intn(-3); got != 0 {
+		t.Fatalf("Intn(-3) = %d, want 0", got)
+	}
+	// Degenerate calls must not consume a draw: the stream is unperturbed.
+	a, b := New(7), New(7)
+	a.Intn(0)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Intn(0) consumed a draw")
+	}
 }
 
 func TestNormMoments(t *testing.T) {
@@ -226,13 +233,20 @@ func TestWeightedChoiceRespectsWeights(t *testing.T) {
 	}
 }
 
-func TestWeightedChoicePanicsOnZeroSum(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on zero-sum weights")
+func TestWeightedChoiceDegenerate(t *testing.T) {
+	r := New(1)
+	if got := r.WeightedChoice([]float64{0, 0}); got != 0 {
+		t.Fatalf("zero-sum WeightedChoice = %d, want 0", got)
+	}
+	if got := r.WeightedChoice(nil); got != 0 {
+		t.Fatalf("empty WeightedChoice = %d, want 0", got)
+	}
+	// Negative weights count as zero, never get chosen.
+	for i := 0; i < 100; i++ {
+		if got := r.WeightedChoice([]float64{-5, 1, -2}); got != 1 {
+			t.Fatalf("WeightedChoice picked index %d with non-positive weight", got)
 		}
-	}()
-	New(1).WeightedChoice([]float64{0, 0})
+	}
 }
 
 func BenchmarkUint64(b *testing.B) {
