@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench clean
+.PHONY: all build vet test race race-par fuzz fuzz-par stress-par bench bench-json clean
 
 all: vet build test
 
@@ -13,16 +13,46 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+race: race-par
 	$(GO) test -race ./...
+
+# Race-focused pass over the parallel runtime and everything it fans out
+# into: the pool itself, the goroutine-confined caches it hammers, and the
+# parallel fig1 path end to end (efTraces under the determinism sweep).
+race-par:
+	$(GO) vet ./internal/par/ ./internal/core/
+	$(GO) test -race ./internal/par/ ./internal/cable/ ./internal/netsim/ ./internal/bgp/ ./internal/workload/
+	$(GO) test -race -run 'TestRenderDeterministicAcrossWorkers|TestParallelRunnerMatchesSequential' .
 
 # Short fuzz pass over Config validation; raise FUZZTIME for a longer run.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) ./internal/core/
 
+# Fuzz the parallel map against the serial oracle (randomized inputs,
+# worker counts, and error sites must reproduce serial results exactly).
+fuzz-par:
+	$(GO) test -run=^$$ -fuzz=FuzzMapVsSerial -fuzztime=$(FUZZTIME) ./internal/par/
+
+# Deterministic stress: repeated randomized worker-count sweeps checked
+# against the serial oracle, with the race detector watching.
+STRESSCOUNT ?= 5
+stress-par:
+	$(GO) test -race -run 'TestStressRandomWorkersVsSerialOracle' -count=$(STRESSCOUNT) ./internal/par/
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable benchmark baseline: BENCH_$(N).json records ns/op and
+# allocs for the root experiment suite plus the parallel-runtime probes.
+# Bump N for each new baseline (BENCH_1.json is the first, committed one).
+N ?= 1
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	{ $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ . ; \
+	  $(GO) test -bench='EFTraceReplay|Fig3AnycastSweep' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/core/ ; } \
+	  | /tmp/benchjson -o BENCH_$(N).json
 
 clean:
 	$(GO) clean ./...

@@ -174,3 +174,19 @@ func RunContext(ctx context.Context, s *Scenario, id string, timeout time.Durati
 func RunAllContext(ctx context.Context, s *Scenario, timeout time.Duration) ([]Result, error) {
 	return core.RunAllContext(ctx, s, timeout)
 }
+
+// RunAllParallel runs the whole registry concurrently on the shared
+// scenario, bounded by Config.Workers (GOMAXPROCS when zero), and returns
+// results in registry order. Experiments are read-only consumers of the
+// built world, so the Results — including every Render() byte — match the
+// sequential runner's at any worker count. Results are cut at the first
+// registry-order failure; siblings are not cancelled by it.
+func RunAllParallel(ctx context.Context, s *Scenario, timeout time.Duration) ([]Result, error) {
+	return core.RunAllParallelContext(ctx, s, timeout)
+}
+
+// RunManyParallel is RunAllParallel restricted to the named experiments,
+// with results in the order the IDs were given.
+func RunManyParallel(ctx context.Context, s *Scenario, ids []string, timeout time.Duration) ([]Result, error) {
+	return core.RunManyParallelContext(ctx, s, ids, timeout)
+}

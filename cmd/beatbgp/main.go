@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	beatbgp [-seed N] [-exp id[,id...]] [-list] [-days N] [-eyeballs N] [-timeout D]
+//	beatbgp [-seed N] [-exp id[,id...]] [-list] [-days N] [-eyeballs N] [-timeout D] [-workers N]
 //
 // With no -exp, every registered experiment runs in the paper's order.
-// Unknown experiment IDs and nonsensical flag values are rejected up
-// front, before any scenario is built, with a non-zero exit.
+// Experiments execute concurrently on the shared scenario (bounded by
+// -workers, default GOMAXPROCS) and print in registry order; output is
+// byte-identical at any worker count. Unknown experiment IDs and
+// nonsensical flag values are rejected up front, before any scenario is
+// built, with a non-zero exit.
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		plot     = flag.Bool("plot", false, "render each series as an ASCII chart")
 		seeds    = flag.Int("seeds", 0, "run each experiment across N seeds (fresh worlds) and report mean/min/max per table cell")
 		timeout  = flag.Duration("timeout", 0, "per-experiment deadline (e.g. 2m); 0 means none")
+		workers  = flag.Int("workers", 0, "parallel worker budget for sweeps and the experiment runner; 0 means GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -56,8 +60,8 @@ func main() {
 	if flag.NArg() > 0 {
 		fail("unexpected arguments %q (flags only)", flag.Args())
 	}
-	if *days < 0 || *eyeballs < 0 || *seeds < 0 {
-		fail("-days, -eyeballs and -seeds must be non-negative")
+	if *days < 0 || *eyeballs < 0 || *seeds < 0 || *workers < 0 {
+		fail("-days, -eyeballs, -seeds and -workers must be non-negative")
 	}
 	if *timeout < 0 {
 		fail("-timeout must be non-negative")
@@ -90,7 +94,7 @@ func main() {
 		}
 	}
 
-	cfg := beatbgp.Config{Seed: *seed}
+	cfg := beatbgp.Config{Seed: *seed, Workers: *workers}
 	if *days > 0 {
 		cfg.Workload.Days = *days
 	}
@@ -107,31 +111,46 @@ func main() {
 		*seed, time.Since(start).Round(time.Millisecond),
 		s.Topo.NumASes(), len(s.Topo.Links), len(s.Topo.Prefixes))
 
-	for _, id := range ids {
-		t0 := time.Now()
-		var r beatbgp.Result
-		switch {
-		case *seeds > 1:
+	// Single-scenario runs go through the parallel runner: experiments
+	// execute concurrently on the shared world, results come back (and
+	// print) in the requested order, byte-identical at any worker count.
+	// Multi-seed runs build a fresh world per seed and stay per-ID.
+	var results []beatbgp.Result
+	t0 := time.Now()
+	if *seeds > 1 {
+		for _, id := range ids {
 			seedList := make([]uint64, *seeds)
 			for i := range seedList {
 				seedList[i] = *seed + uint64(i)
 			}
-			r, err = beatbgp.RunSeeds(cfg, id, seedList)
-		case *timeout > 0:
-			r, err = beatbgp.RunContext(context.Background(), s, id, *timeout)
-		default:
-			r, err = beatbgp.Run(s, id)
+			r, err := beatbgp.RunSeeds(cfg, id, seedList)
+			if err != nil {
+				fail("%s: %v", id, err)
+			}
+			results = append(results, r)
 		}
+	} else {
+		var err error
+		results, err = beatbgp.RunManyParallel(context.Background(), s, ids, *timeout)
 		if err != nil {
-			fail("%s: %v", id, err)
+			// Render the completed prefix before failing so partial output
+			// still lands in order.
+			for _, r := range results {
+				fmt.Printf("\n# %s\n%s", r.ID, r.Render())
+			}
+			fail("%s: %v", ids[len(results)], err)
 		}
-		fmt.Printf("\n# %s completed in %v\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("# %d experiment(s) completed in %v\n", len(results), time.Since(t0).Round(time.Millisecond))
+
+	for _, r := range results {
+		fmt.Printf("\n# %s\n", r.ID)
 		switch {
 		case *asJSON:
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(r); err != nil {
-				fail("%s: %v", id, err)
+				fail("%s: %v", r.ID, err)
 			}
 		default:
 			fmt.Print(r.Render())
@@ -143,7 +162,7 @@ func main() {
 		}
 		if *outDir != "" {
 			if err := writeResult(*outDir, r); err != nil {
-				fail("%s: %v", id, err)
+				fail("%s: %v", r.ID, err)
 			}
 		}
 	}

@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark baselines can be committed and diffed.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_1.json
+//
+// Every "BenchmarkName-P  N  X ns/op  [Y B/op  Z allocs/op]" line becomes
+// one record tagged with the package from the preceding "pkg:" line.
+// Non-benchmark output (experiment tables, PASS/ok lines) is ignored, so
+// the tool can eat the full test stream.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted file: environment header plus sorted records.
+type Document struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(sc *bufio.Scanner) (Document, error) {
+	var doc Document
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			iters, err := strconv.ParseInt(m[2], 10, 64)
+			if err != nil {
+				return doc, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+			}
+			ns, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return doc, fmt.Errorf("benchjson: bad ns/op in %q: %w", line, err)
+			}
+			rec := Record{Package: pkg, Name: m[1], Iterations: iters, NsPerOp: ns}
+			if m[4] != "" {
+				rec.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			}
+			if m[5] != "" {
+				rec.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			}
+			doc.Benchmarks = append(doc.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return doc, err
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		if doc.Benchmarks[i].Package != doc.Benchmarks[j].Package {
+			return doc.Benchmarks[i].Package < doc.Benchmarks[j].Package
+		}
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+	return doc, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	doc, err := parse(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	js, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s\n", len(doc.Benchmarks), *out)
+}

@@ -1,0 +1,117 @@
+package beatbgp_test
+
+import (
+	"testing"
+
+	"beatbgp"
+)
+
+// TestRenderDeterministicAcrossWorkers is the parallel runtime's
+// acceptance gate: for each seed and experiment, a scenario run at 2 and
+// 8 workers — and a second independently built scenario with the same
+// seed — must reproduce the workers=1 Render() output byte for byte.
+// Any order-dependence smuggled into a parallel sweep (an RNG keyed by
+// worker, a float accumulated in completion order, a racing cache) shows
+// up here as a diff.
+func TestRenderDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario sweep")
+	}
+	seeds := []uint64{42, 7}
+	exps := []string{"fig1", "fig3", "fig5"}
+	for _, seed := range seeds {
+		// Reference: fully serial run.
+		refCfg := facadeConfig(seed)
+		refCfg.Workers = 1
+		ref, err := beatbgp.NewScenario(refCfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := make(map[string]string, len(exps))
+		for _, id := range exps {
+			r, err := beatbgp.Run(ref, id)
+			if err != nil {
+				t.Fatalf("seed %d %s workers=1: %v", seed, id, err)
+			}
+			want[id] = r.Render()
+		}
+		for _, workers := range []int{2, 8} {
+			cfg := facadeConfig(seed)
+			cfg.Workers = workers
+			s, err := beatbgp.NewScenario(cfg)
+			if err != nil {
+				t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+			}
+			for _, id := range exps {
+				r, err := beatbgp.Run(s, id)
+				if err != nil {
+					t.Fatalf("seed %d %s workers=%d: %v", seed, id, workers, err)
+				}
+				if got := r.Render(); got != want[id] {
+					t.Errorf("seed %d %s: workers=%d output diverges from workers=1\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						seed, id, workers, want[id], workers, got)
+				}
+			}
+		}
+		// Same seed, second build, serial again: the world construction
+		// itself must be reproducible, not just the sweeps.
+		twin, err := beatbgp.NewScenario(refCfg)
+		if err != nil {
+			t.Fatalf("seed %d twin: %v", seed, err)
+		}
+		for _, id := range exps {
+			r, err := beatbgp.Run(twin, id)
+			if err != nil {
+				t.Fatalf("seed %d %s twin: %v", seed, id, err)
+			}
+			if got := r.Render(); got != want[id] {
+				t.Errorf("seed %d %s: second same-seed build diverges from the first", seed, id)
+			}
+		}
+	}
+}
+
+// TestParallelRunnerMatchesSequential locks the runner-level contract:
+// RunManyParallel returns the same rendered results, in the requested
+// order, as running the experiments one at a time.
+func TestParallelRunnerMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario sweep")
+	}
+	ids := []string{"t32", "fig3", "t33"}
+
+	seqS, err := beatbgp.NewScenario(facadeConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, id := range ids {
+		r, err := beatbgp.Run(seqS, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		want = append(want, r.Render())
+	}
+
+	parCfg := facadeConfig(9)
+	parCfg.Workers = 8
+	parS, err := beatbgp.NewScenario(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := beatbgp.RunManyParallel(t.Context(), parS, ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("got %d results, want %d", len(got), len(ids))
+	}
+	for i, r := range got {
+		if r.ID != ids[i] {
+			t.Errorf("result %d is %q, want %q (order must match the request)", i, r.ID, ids[i])
+		}
+		if r.Render() != want[i] {
+			t.Errorf("%s: parallel runner output diverges from sequential", ids[i])
+		}
+	}
+}

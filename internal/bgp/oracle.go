@@ -1,13 +1,27 @@
 package bgp
 
-import "beatbgp/internal/topology"
+import (
+	"context"
+	"sync"
+
+	"beatbgp/internal/par"
+	"beatbgp/internal/topology"
+)
 
 // Oracle memoizes per-origin RIBs. Routing depends only on the set of
 // announcements, so all prefixes originated (plainly) by the same AS share
 // one RIB; with hundreds of prefixes per origin this saves most of the
 // propagation work in the experiments.
+//
+// The memo is guarded: ToOrigin/ToPrefix are safe from any number of
+// goroutines, and each RIB is a pure function of its origin, so results
+// never depend on interleaving. Hot parallel paths should PrimeOrigins
+// first so workers find warm, read-only entries instead of racing to
+// duplicate the propagation work.
 type Oracle struct {
-	topo  *topology.Topo
+	topo *topology.Topo
+
+	mu    sync.RWMutex
 	plain map[int]*RIB
 }
 
@@ -22,18 +36,63 @@ func (o *Oracle) Topo() *topology.Topo { return o.topo }
 // ToOrigin returns the RIB for a plain (ungroomed, single-origin)
 // announcement by the AS, computing it on first use.
 func (o *Oracle) ToOrigin(origin int) (*RIB, error) {
-	if rib, ok := o.plain[origin]; ok {
+	o.mu.RLock()
+	rib, ok := o.plain[origin]
+	o.mu.RUnlock()
+	if ok {
 		return rib, nil
 	}
+	// Compute outside the lock: the RIB is a pure function of the origin,
+	// so a racing duplicate computation returns an identical value.
 	rib, err := Compute(o.topo, []Announcement{{Origin: origin}})
 	if err != nil {
 		return nil, err
 	}
-	o.plain[origin] = rib
+	o.mu.Lock()
+	if prior, ok := o.plain[origin]; ok {
+		rib = prior // keep the first-installed pointer stable
+	} else {
+		o.plain[origin] = rib
+	}
+	o.mu.Unlock()
 	return rib, nil
 }
 
 // ToPrefix returns the RIB governing routes toward the prefix.
 func (o *Oracle) ToPrefix(p topology.Prefix) (*RIB, error) {
 	return o.ToOrigin(p.Origin)
+}
+
+// PrimeOrigins computes the RIBs of every listed origin on a bounded
+// worker pool (duplicates are computed once) and installs them in the
+// memo, so subsequent ToOrigin calls are read-only lookups. Origins
+// already resident are skipped.
+func (o *Oracle) PrimeOrigins(ctx context.Context, workers int, origins []int) error {
+	var missing []int
+	seen := make(map[int]bool, len(origins))
+	o.mu.RLock()
+	for _, origin := range origins {
+		if !seen[origin] && o.plain[origin] == nil {
+			seen[origin] = true
+			missing = append(missing, origin)
+		}
+	}
+	o.mu.RUnlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	ribs, err := par.MapCtx(ctx, workers, missing, func(_ int, origin int) (*RIB, error) {
+		return Compute(o.topo, []Announcement{{Origin: origin}})
+	})
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	for i, origin := range missing {
+		if o.plain[origin] == nil {
+			o.plain[origin] = ribs[i]
+		}
+	}
+	o.mu.Unlock()
+	return nil
 }

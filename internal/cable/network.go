@@ -3,6 +3,7 @@ package cable
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Network is one organization's overlay on the physical graph: the subset
@@ -11,8 +12,14 @@ import (
 // paths; eyeball ISPs typically run 1.1–1.3).
 //
 // A Network memoizes single-source shortest-path trees, so repeated Path
-// queries are cheap. Networks are not safe for concurrent mutation but
-// Path is safe to call from a single goroutine throughout a simulation.
+// queries are cheap. The memo is guarded, so Path/DistKm/NearestPresent
+// are safe to call from any number of goroutines (internal/par workers
+// included); each tree is a pure function of the source city, so query
+// results are identical whatever the interleaving. Precompute builds
+// every tree up front, turning the memo immutable-after-build so
+// concurrent queries never contend on the write path. Topology (the edge
+// set and footprint) is still fixed at construction and must not change
+// afterwards.
 type Network struct {
 	Name    string
 	Stretch float64
@@ -20,7 +27,9 @@ type Network struct {
 	g       *Graph
 	edgeOK  []bool
 	present []bool // city -> is in footprint
-	cache   map[int]sstree
+
+	mu    sync.RWMutex
+	cache map[int]sstree
 }
 
 type sstree struct {
@@ -105,15 +114,38 @@ func (n *Network) Cities() []int {
 }
 
 func (n *Network) tree(src int) sstree {
-	if t, ok := n.cache[src]; ok {
+	n.mu.RLock()
+	t, ok := n.cache[src]
+	n.mu.RUnlock()
+	if ok {
 		return t
 	}
+	// Compute outside the lock: the tree is a pure function of src, so
+	// concurrent duplicate computation is wasted work at worst, never a
+	// wrong answer. Last writer wins with an identical value.
 	dist, prevEdge := n.g.shortest(src, func(e Edge) bool {
 		return e.ID < len(n.edgeOK) && n.edgeOK[e.ID]
 	})
-	t := sstree{dist, prevEdge}
+	t = sstree{dist, prevEdge}
+	n.mu.Lock()
 	n.cache[src] = t
+	n.mu.Unlock()
 	return t
+}
+
+// Precompute builds the shortest-path tree of every footprint city,
+// making the memo effectively immutable: subsequent Path queries are
+// read-only and scale across cores without write contention. It returns
+// the number of trees resident afterwards.
+func (n *Network) Precompute() int {
+	for c, ok := range n.present {
+		if ok {
+			n.tree(c)
+		}
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.cache)
 }
 
 // Path returns the network's internal route between two footprint cities.

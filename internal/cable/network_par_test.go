@@ -1,0 +1,83 @@
+package cable
+
+import (
+	"testing"
+
+	"beatbgp/internal/par"
+)
+
+// TestPathConcurrentFromParMap hammers one Network's path memo from
+// par.Map workers under -race: the shared-cache hazard the parallel
+// runtime had to fix. Every concurrent answer must match a serially
+// warmed oracle bit for bit.
+func TestPathConcurrentFromParMap(t *testing.T) {
+	g, cat := world(t)
+	cities := make([]int, cat.Len())
+	for i := range cities {
+		cities[i] = i
+	}
+	n, err := NetworkFromCities(g, "global-backbone", cities, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial oracle on a twin network with an independent memo.
+	oracle, err := NetworkFromCities(g, "oracle", cities, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queries spread across many sources so workers race on cache
+	// *insertion*, not just lookup.
+	type query struct{ from, to int }
+	var queries []query
+	for i := 0; i < cat.Len(); i += 3 {
+		for j := 1; j < cat.Len(); j += 17 {
+			queries = append(queries, query{i, (i + j) % cat.Len()})
+		}
+	}
+	got, err := par.Map(8, queries, func(_ int, q query) (float64, error) {
+		p, ok := n.Path(q.from, q.to)
+		if !ok {
+			return -1, nil
+		}
+		return p.Km, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want := -1.0
+		if p, ok := oracle.Path(q.from, q.to); ok {
+			want = p.Km
+		}
+		if got[i] != want {
+			t.Fatalf("query %d (%d->%d): concurrent %v != serial %v", i, q.from, q.to, got[i], want)
+		}
+	}
+}
+
+// TestPrecomputeFreezesMemo verifies Precompute builds a tree per
+// footprint city and that post-precompute queries agree with the lazily
+// built answers.
+func TestPrecomputeFreezesMemo(t *testing.T) {
+	g, cat := world(t)
+	ny := cityID(t, cat, "NewYork")
+	lon := cityID(t, cat, "London")
+	lazy, err := NetworkFromCities(g, "lazy", []int{ny, lon}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := NetworkFromCities(g, "eager", []int{ny, lon}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trees := eager.Precompute(); trees != 2 {
+		t.Fatalf("Precompute built %d trees, want 2", trees)
+	}
+	lp, lok := lazy.Path(ny, lon)
+	ep, eok := eager.Path(ny, lon)
+	if lok != eok || lp.Km != ep.Km {
+		t.Fatalf("precomputed path diverges: %v/%v vs %v/%v", ep, eok, lp, lok)
+	}
+}

@@ -12,14 +12,17 @@
 package cdn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"beatbgp/internal/bgp"
 	"beatbgp/internal/geo"
 	"beatbgp/internal/netpath"
 	"beatbgp/internal/netsim"
+	"beatbgp/internal/par"
 	"beatbgp/internal/topology"
 	"beatbgp/internal/xrand"
 )
@@ -101,15 +104,23 @@ type Site struct {
 }
 
 // CDN is a constructed anycast CDN.
+//
+// Query methods (Catchment, UnicastRTT, AnycastRTT, RTTViaRIB, ...) are
+// safe from any number of goroutines once construction is done: the RIB
+// caches are guarded, and each cached RIB is a pure function of the
+// announcement set, so answers never depend on interleaving. Parallel
+// sweeps should PrimeRIBs first so workers find warm, read-only entries.
 type CDN struct {
 	Topo     *topology.Topo
 	Sites    []Site
 	ServerMs float64
 
-	siteByAS   map[int]int
+	siteByAS map[int]int
+	resolver *netpath.Resolver
+
+	mu         sync.RWMutex
 	anycastRIB *bgp.RIB   // cache for ungroomed anycast
 	unicastRIB []*bgp.RIB // cache per site
-	resolver   *netpath.Resolver
 }
 
 // Build places the CDN's site ASes into the topology (mutating it).
@@ -292,19 +303,32 @@ func (c *CDN) Announcements(g *Grooming) []bgp.Announcement {
 // AnycastRIB computes (and for the ungroomed case caches) the anycast
 // routing state.
 func (c *CDN) AnycastRIB(g *Grooming) (*bgp.RIB, error) {
-	if g == nil && c.anycastRIB != nil {
-		return c.anycastRIB, nil
+	if g == nil {
+		c.mu.RLock()
+		rib := c.anycastRIB
+		c.mu.RUnlock()
+		if rib != nil {
+			return rib, nil
+		}
 	}
 	anns := c.Announcements(g)
 	if len(anns) == 0 {
 		return nil, fmt.Errorf("cdn: grooming withdraws every site; nothing announces the anycast prefix")
 	}
+	// Compute outside the lock: the RIB is a pure function of the
+	// announcement set, so a racing duplicate is identical.
 	rib, err := bgp.Compute(c.Topo, anns)
 	if err != nil {
 		return nil, err
 	}
 	if g == nil {
-		c.anycastRIB = rib
+		c.mu.Lock()
+		if c.anycastRIB != nil {
+			rib = c.anycastRIB // keep the first-installed pointer stable
+		} else {
+			c.anycastRIB = rib
+		}
+		c.mu.Unlock()
 	}
 	return rib, nil
 }
@@ -314,15 +338,54 @@ func (c *CDN) UnicastRIB(site int) (*bgp.RIB, error) {
 	if site < 0 || site >= len(c.Sites) {
 		return nil, fmt.Errorf("cdn: site %d out of range", site)
 	}
-	if c.unicastRIB[site] != nil {
-		return c.unicastRIB[site], nil
+	c.mu.RLock()
+	rib := c.unicastRIB[site]
+	c.mu.RUnlock()
+	if rib != nil {
+		return rib, nil
 	}
 	rib, err := bgp.Compute(c.Topo, []bgp.Announcement{{Origin: c.Sites[site].AS.ID}})
 	if err != nil {
 		return nil, err
 	}
-	c.unicastRIB[site] = rib
+	c.mu.Lock()
+	if prior := c.unicastRIB[site]; prior != nil {
+		rib = prior
+	} else {
+		c.unicastRIB[site] = rib
+	}
+	c.mu.Unlock()
 	return rib, nil
+}
+
+// PrimeRIBs computes the ungroomed anycast RIB and every site's unicast
+// RIB on a bounded worker pool, so subsequent cache hits are read-only.
+// It returns the number of RIBs computed (zero when already warm).
+func (c *CDN) PrimeRIBs(ctx context.Context, workers int) (int, error) {
+	// Job -1 is the anycast RIB; jobs 0..len(Sites)-1 are unicast RIBs.
+	var jobs []int
+	c.mu.RLock()
+	if c.anycastRIB == nil {
+		jobs = append(jobs, -1)
+	}
+	for site := range c.Sites {
+		if c.unicastRIB[site] == nil {
+			jobs = append(jobs, site)
+		}
+	}
+	c.mu.RUnlock()
+	if len(jobs) == 0 {
+		return 0, nil
+	}
+	_, err := par.MapCtx(ctx, workers, jobs, func(_ int, job int) (struct{}, error) {
+		if job < 0 {
+			_, err := c.AnycastRIB(nil)
+			return struct{}{}, err
+		}
+		_, err := c.UnicastRIB(job)
+		return struct{}{}, err
+	})
+	return len(jobs), err
 }
 
 // forwardRoute walks the forwarding chain from an AS/city with

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"beatbgp/internal/cdn"
 	"beatbgp/internal/geo"
+	"beatbgp/internal/netsim"
 	"beatbgp/internal/odin"
+	"beatbgp/internal/par"
 	"beatbgp/internal/stats"
+	"beatbgp/internal/topology"
 )
 
 // anycastSampleTimes spreads request samples across the horizon's first
@@ -29,33 +33,61 @@ const nearbyUnicastCount = 6
 // Figure3 reproduces the paper's Figure 3: the CCDF, per request, of
 // anycast latency minus the best measured unicast front-end latency, for
 // the world, Europe, and the United States.
+//
+// The per-prefix catchment-and-RTT sweep runs on internal/par workers:
+// the CDN's RIB caches are primed first so workers only read, each worker
+// samples its own Sim clone, and the per-prefix diff lists (in sample-time
+// order) are folded into the distributions in prefix order — the same Add
+// sequence as the serial loop, so the figure is bit-identical at any
+// worker count.
 func Figure3(s *Scenario) (Result, error) {
 	times := anycastSampleTimes()
-	var world, europe, us stats.Dist
-	for _, p := range s.Topo.Prefixes {
-		nearest := s.CDN.NearestSites(p, nearbyUnicastCount)
-		for _, t := range times {
-			any, _, err := s.CDN.AnycastRTT(s.Sim, p, nil, t)
-			if err != nil {
-				continue
-			}
-			best := math.Inf(1)
-			for _, site := range nearest {
-				if rtt, err := s.CDN.UnicastRTT(s.Sim, p, site, t); err == nil && rtt < best {
-					best = rtt
-				}
-			}
-			if math.IsInf(best, 1) {
-				continue
-			}
-			diff := any - best
-			world.Add(diff, p.Weight)
+	workers := s.workers()
+	if _, err := s.CDN.PrimeRIBs(context.Background(), workers); err != nil {
+		return Result{}, err
+	}
+	type partial struct {
+		diffs  []float64
+		isEU   bool
+		isUS   bool
+		weight float64
+	}
+	parts, err := par.MapState(workers, s.Topo.Prefixes,
+		func(int) *netsim.Sim { return s.Sim.Clone() },
+		func(sim *netsim.Sim, _ int, p topology.Prefix) (partial, error) {
 			city := s.Topo.Catalog.City(p.City)
-			if city.Region == geo.Europe {
-				europe.Add(diff, p.Weight)
+			pt := partial{isEU: city.Region == geo.Europe, isUS: city.Country == "US", weight: p.Weight}
+			nearest := s.CDN.NearestSites(p, nearbyUnicastCount)
+			for _, t := range times {
+				any, _, err := s.CDN.AnycastRTT(sim, p, nil, t)
+				if err != nil {
+					continue
+				}
+				best := math.Inf(1)
+				for _, site := range nearest {
+					if rtt, err := s.CDN.UnicastRTT(sim, p, site, t); err == nil && rtt < best {
+						best = rtt
+					}
+				}
+				if math.IsInf(best, 1) {
+					continue
+				}
+				pt.diffs = append(pt.diffs, any-best)
 			}
-			if city.Country == "US" {
-				us.Add(diff, p.Weight)
+			return pt, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	var world, europe, us stats.Dist
+	for _, pt := range parts {
+		for _, diff := range pt.diffs {
+			world.Add(diff, pt.weight)
+			if pt.isEU {
+				europe.Add(diff, pt.weight)
+			}
+			if pt.isUS {
+				us.Add(diff, pt.weight)
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"beatbgp/internal/geo"
 	"beatbgp/internal/measure"
 	"beatbgp/internal/netpath"
+	"beatbgp/internal/par"
 	"beatbgp/internal/stats"
 	"beatbgp/internal/tcp"
 )
@@ -26,6 +27,8 @@ type tierState struct {
 }
 
 func (s *Scenario) tiers() (*tierState, error) {
+	s.tierMu.Lock()
+	defer s.tierMu.Unlock()
 	if s.tier != nil {
 		return s.tier, nil
 	}
@@ -107,24 +110,52 @@ func Figure5(s *Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	perCountry := make(map[string]*stats.Dist)
+	// The campaign fans out per ⟨day, vantage point⟩ on internal/par
+	// workers: ping noise is keyed by ⟨vp, target, time⟩ so each probe's
+	// value is independent of issue order, each worker measures through a
+	// platform view over its own Sim clone, and the per-VP diff lists are
+	// folded per country in campaign order — the same Add sequence as the
+	// serial loop, so the table is bit-identical at any worker count.
 	rounds := []float64{3 * 60, 9 * 60, 15 * 60, 21 * 60} // 4 of the 10 daily rounds
+	type job struct {
+		day int
+		vp  measure.VantagePoint
+	}
+	var jobs []job
 	for day := 0; day < tierCampaignDays; day++ {
-		sel := dailySubset(ts, day)
-		for _, vp := range sel {
+		for _, vp := range dailySubset(ts, day) {
+			jobs = append(jobs, job{day, vp})
+		}
+	}
+	type partial struct {
+		country string
+		diffs   []float64
+	}
+	parts, err := par.MapState(s.workers(), jobs,
+		func(int) *measure.Platform { return ts.plat.WithSim(s.Sim.Clone()) },
+		func(plat *measure.Platform, _ int, j job) (partial, error) {
+			pt := partial{country: s.countryOf(j.vp.City)}
 			for _, h := range rounds {
-				t := float64(day)*24*60 + h
-				p1, err1 := ts.plat.Ping(vp, ts.prem, t)
-				p2, err2 := ts.plat.Ping(vp, ts.std, t)
+				t := float64(j.day)*24*60 + h
+				p1, err1 := plat.Ping(j.vp, ts.prem, t)
+				p2, err2 := plat.Ping(j.vp, ts.std, t)
 				if err1 != nil || err2 != nil {
 					continue
 				}
-				c := s.countryOf(vp.City)
-				if perCountry[c] == nil {
-					perCountry[c] = &stats.Dist{}
-				}
-				perCountry[c].Add(p2-p1, 1)
+				pt.diffs = append(pt.diffs, p2-p1)
 			}
+			return pt, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	perCountry := make(map[string]*stats.Dist)
+	for _, pt := range parts {
+		for _, diff := range pt.diffs {
+			if perCountry[pt.country] == nil {
+				perCountry[pt.country] = &stats.Dist{}
+			}
+			perCountry[pt.country].Add(diff, 1)
 		}
 	}
 	tb := stats.Table{Name: "fig5 per-country Standard-Premium (ms)",
@@ -177,41 +208,79 @@ func TableS33(s *Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// One traceroute-pair job per filtered VP on internal/par workers;
+	// partials merge in VP order (see Figure5 for the determinism rule).
+	type vpPart struct {
+		ok       bool
+		tr1, tr2 measure.TracerouteResult
+		india    bool
+		diff     float64
+		hasDiff  bool
+		premKm   float64
+		hasPrem  bool
+		stdKm    float64
+		hasStd   bool
+	}
+	parts, perr := par.MapState(s.workers(), ts.vps,
+		func(int) *measure.Platform { return ts.plat.WithSim(s.Sim.Clone()) },
+		func(plat *measure.Platform, _ int, vp measure.VantagePoint) (vpPart, error) {
+			var pt vpPart
+			tr1, err1 := plat.Traceroute(vp, ts.prem)
+			tr2, err2 := plat.Traceroute(vp, ts.std)
+			if err1 != nil || err2 != nil {
+				return pt, nil
+			}
+			pt.ok, pt.tr1, pt.tr2 = true, tr1, tr2
+			if s.countryOf(vp.City) == "IN" {
+				pt.india = true
+				p1, e1 := plat.Ping(vp, ts.prem, 9*60)
+				p2, e2 := plat.Ping(vp, ts.std, 9*60)
+				if e1 == nil && e2 == nil {
+					pt.diff, pt.hasDiff = p2-p1, true
+				}
+				// Carried distance: premium = public + WAN; standard = full path.
+				pr := ts.premRIB.Best(vp.AS)
+				if pub, _, wanKm, err := s.Prov.EntryAndWAN(s.Res, pr, vp.City); err == nil {
+					pt.premKm, pt.hasPrem = pub.Km+wanKm, true
+				}
+				sr := ts.stdRIB.Best(vp.AS)
+				if pub, _, wanKm, err := s.Prov.EntryAndWAN(s.Res, sr, vp.City); err == nil {
+					pt.stdKm, pt.hasStd = pub.Km+wanKm, true
+				}
+			}
+			return pt, nil
+		})
+	if perr != nil {
+		return Result{}, perr
+	}
 	var premNear, stdNear, premKnown, stdKnown float64
 	var indiaDiff stats.Dist
 	var indiaPremKm, indiaStdKm stats.Dist
-	for _, vp := range ts.vps {
-		tr1, err1 := ts.plat.Traceroute(vp, ts.prem)
-		tr2, err2 := ts.plat.Traceroute(vp, ts.std)
-		if err1 != nil || err2 != nil {
+	for _, pt := range parts {
+		if !pt.ok {
 			continue
 		}
-		if tr1.IngressKnown {
+		if pt.tr1.IngressKnown {
 			premKnown++
-			if tr1.IngressDistKm <= 400 {
+			if pt.tr1.IngressDistKm <= 400 {
 				premNear++
 			}
 		}
-		if tr2.IngressKnown {
+		if pt.tr2.IngressKnown {
 			stdKnown++
-			if tr2.IngressDistKm <= 400 {
+			if pt.tr2.IngressDistKm <= 400 {
 				stdNear++
 			}
 		}
-		if s.countryOf(vp.City) == "IN" {
-			p1, e1 := ts.plat.Ping(vp, ts.prem, 9*60)
-			p2, e2 := ts.plat.Ping(vp, ts.std, 9*60)
-			if e1 == nil && e2 == nil {
-				indiaDiff.Add(p2-p1, 1)
+		if pt.india {
+			if pt.hasDiff {
+				indiaDiff.Add(pt.diff, 1)
 			}
-			// Carried distance: premium = public + WAN; standard = full path.
-			pr := ts.premRIB.Best(vp.AS)
-			if pub, _, wanKm, err := s.Prov.EntryAndWAN(s.Res, pr, vp.City); err == nil {
-				indiaPremKm.Add(pub.Km+wanKm, 1)
+			if pt.hasPrem {
+				indiaPremKm.Add(pt.premKm, 1)
 			}
-			sr := ts.stdRIB.Best(vp.AS)
-			if pub, _, wanKm, err := s.Prov.EntryAndWAN(s.Res, sr, vp.City); err == nil {
-				indiaStdKm.Add(pub.Km+wanKm, 1)
+			if pt.hasStd {
+				indiaStdKm.Add(pt.stdKm, 1)
 			}
 		}
 	}

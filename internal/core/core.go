@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"beatbgp/internal/bgp"
 	"beatbgp/internal/cdn"
 	"beatbgp/internal/dnsmap"
 	"beatbgp/internal/netpath"
 	"beatbgp/internal/netsim"
+	"beatbgp/internal/par"
 	"beatbgp/internal/provider"
 	"beatbgp/internal/stats"
 	"beatbgp/internal/topology"
@@ -33,6 +35,12 @@ type Config struct {
 	DNS      dnsmap.Config
 	Net      netsim.Config
 	Workload workload.Config
+
+	// Workers bounds the parallel runtime's pool for the heavy sweeps
+	// (route propagation, trace replay, measurement campaigns). Zero or
+	// negative means GOMAXPROCS. Results are bit-identical at any worker
+	// count — see internal/par and DESIGN.md "Parallel runtime".
+	Workers int
 }
 
 func (c *Config) setDefaults() {
@@ -100,9 +108,16 @@ type Scenario struct {
 	Res    *netpath.Resolver
 	Gen    *workload.Generator
 
-	traces []workload.Trace // lazily built Edge-Fabric trace (see efTraces)
-	tier   *tierState       // lazily built cloud-tier state (see tiers)
+	// The lazy caches are built under their own mutexes so concurrent
+	// experiments (RunAllContext) block only on the cache they share.
+	tracesMu sync.Mutex
+	traces   []workload.Trace // lazily built Edge-Fabric trace (see efTraces)
+	tierMu   sync.Mutex
+	tier     *tierState // lazily built cloud-tier state (see tiers)
 }
+
+// workers resolves the effective worker count for parallel sweeps.
+func (s *Scenario) workers() int { return par.Workers(s.Cfg.Workers) }
 
 // NewScenario builds the world: topology, content provider (with WAN and
 // peering), anycast CDN sites, resolver population, and the congestion

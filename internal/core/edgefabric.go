@@ -1,37 +1,79 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"beatbgp/internal/geo"
+	"beatbgp/internal/par"
 	"beatbgp/internal/provider"
 	"beatbgp/internal/stats"
+	"beatbgp/internal/topology"
 	"beatbgp/internal/workload"
 )
 
 // efTraces lazily collects the Edge-Fabric measurement trace: every
 // client prefix observed from its serving PoP with BGP's top routes
 // sprayed, per the paper's §3.1 dataset. Shared by fig1/fig2/t31/t311.
+//
+// The sweep is sharded across internal/par workers: route propagation is
+// primed per unique origin, then prefixes replay on per-worker generators
+// (each over its own Sim clone, so lazy congestion memos never contend).
+// Every per-prefix trace is a pure function of the prefix — session noise
+// is keyed by ⟨prefix, PoP⟩, never by worker — and the merge keeps prefix
+// order, so the trace slice is bit-identical at any worker count.
 func (s *Scenario) efTraces() ([]workload.Trace, error) {
+	s.tracesMu.Lock()
+	defer s.tracesMu.Unlock()
 	if s.traces != nil {
 		return s.traces, nil
 	}
+	workers := s.workers()
+
+	// Warm the per-origin RIB memo once, in parallel, so the replay
+	// workers below do pure read-only lookups.
+	seen := make(map[int]bool)
+	var origins []int
 	for _, p := range s.Topo.Prefixes {
-		rib, err := s.Oracle.ToPrefix(p)
-		if err != nil {
-			return nil, err
+		if !seen[p.Origin] {
+			seen[p.Origin] = true
+			origins = append(origins, p.Origin)
 		}
-		pop := s.Prov.ServingPoP(p.City)
-		opts := s.Prov.EgressOptions(rib, pop)
-		if len(opts) < 2 {
-			continue // no alternate to compare against
+	}
+	if err := s.Oracle.PrimeOrigins(context.Background(), workers, origins); err != nil {
+		return nil, err
+	}
+
+	type obs struct {
+		tr workload.Trace
+		ok bool
+	}
+	results, err := par.MapState(workers, s.Topo.Prefixes,
+		func(int) *workload.Generator { return s.Gen.WithSim(s.Sim.Clone()) },
+		func(gen *workload.Generator, _ int, p topology.Prefix) (obs, error) {
+			rib, err := s.Oracle.ToPrefix(p)
+			if err != nil {
+				return obs{}, err
+			}
+			pop := s.Prov.ServingPoP(p.City)
+			opts := s.Prov.EgressOptions(rib, pop)
+			if len(opts) < 2 {
+				return obs{}, nil // no alternate to compare against
+			}
+			tr, err := gen.Observe(pop, p, opts)
+			if err != nil || len(tr.Routes) < 2 {
+				return obs{}, nil
+			}
+			return obs{tr, true}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range results {
+		if o.ok {
+			s.traces = append(s.traces, o.tr)
 		}
-		tr, err := s.Gen.Observe(pop, p, opts)
-		if err != nil || len(tr.Routes) < 2 {
-			continue
-		}
-		s.traces = append(s.traces, tr)
 	}
 	if len(s.traces) == 0 {
 		return nil, fmt.Errorf("core: no usable edge-fabric traces")

@@ -8,6 +8,7 @@ import (
 	"beatbgp/internal/cdn"
 	"beatbgp/internal/faults"
 	"beatbgp/internal/netsim"
+	"beatbgp/internal/par"
 	"beatbgp/internal/provider"
 	"beatbgp/internal/stats"
 )
@@ -69,38 +70,68 @@ func FaultStudy(s *Scenario) (Result, error) {
 
 	// Part 1 — shared-fate correlation at fault midpoints: does the best
 	// alternate degrade when the preferred route does?
-	var prefDeg, altDeg stats.Dist
-	var sampledVol, degradedVol, bothDegradedVol float64
-	for _, e := range tl.Events() {
-		tm := e.Start + e.Duration/2
-		for i, tr := range traces {
-			pref := tr.Routes[0]
-			if !faulty.RouteUp(pref.Phys, tm) {
-				continue // unavailable, not slow — part 2's business
-			}
-			sampledVol += traceVol[i]
-			d := faulty.RouteRTTMs(pref.Phys, tr.Prefix, tm) -
-				clean.RouteRTTMs(pref.Phys, tr.Prefix, tm)
-			bestAlt := math.Inf(1)
-			for _, ro := range tr.Routes[1:] {
-				if !faulty.RouteUp(ro.Phys, tm) {
+	//
+	// The sweep fans out per fault event on internal/par workers: each
+	// worker carries its own twin ⟨clean, faulty⟩ Sim clones (identical
+	// stochastic draws — netsim processes are keyed by entity, never by
+	// query order), and each event's per-trace records are replayed into
+	// the accumulators in ⟨event, trace⟩ order — exactly the serial
+	// sequence, so the study is bit-identical at any worker count.
+	// Parts 2 and 3 stay serial: AssignUnderCapacity iterates greedily
+	// over the full demand set, a genuinely sequential dependency.
+	type twin struct{ clean, faulty *netsim.Sim }
+	type rec struct{ vol, d, alt float64 } // degraded entries; alt is +Inf when no alternate survives
+	type evPart struct {
+		sampled []float64 // traceVol of sampled traces, in trace order
+		recs    []rec
+	}
+	parts, perr := par.MapState(s.workers(), tl.Events(),
+		func(int) twin { return twin{clean.Clone(), faulty.Clone()} },
+		func(tw twin, _ int, e faults.Event) (evPart, error) {
+			var pt evPart
+			tm := e.Start + e.Duration/2
+			for i, tr := range traces {
+				pref := tr.Routes[0]
+				if !tw.faulty.RouteUp(pref.Phys, tm) {
+					continue // unavailable, not slow — part 2's business
+				}
+				pt.sampled = append(pt.sampled, traceVol[i])
+				d := tw.faulty.RouteRTTMs(pref.Phys, tr.Prefix, tm) -
+					tw.clean.RouteRTTMs(pref.Phys, tr.Prefix, tm)
+				bestAlt := math.Inf(1)
+				for _, ro := range tr.Routes[1:] {
+					if !tw.faulty.RouteUp(ro.Phys, tm) {
+						continue
+					}
+					ad := tw.faulty.RouteRTTMs(ro.Phys, tr.Prefix, tm) -
+						tw.clean.RouteRTTMs(ro.Phys, tr.Prefix, tm)
+					if ad < bestAlt {
+						bestAlt = ad
+					}
+				}
+				if d < faultDegradeMs {
 					continue
 				}
-				ad := faulty.RouteRTTMs(ro.Phys, tr.Prefix, tm) -
-					clean.RouteRTTMs(ro.Phys, tr.Prefix, tm)
-				if ad < bestAlt {
-					bestAlt = ad
-				}
+				pt.recs = append(pt.recs, rec{traceVol[i], d, bestAlt})
 			}
-			if d < faultDegradeMs {
-				continue
-			}
-			degradedVol += traceVol[i]
-			prefDeg.Add(d, traceVol[i])
-			if !math.IsInf(bestAlt, 1) {
-				altDeg.Add(bestAlt, traceVol[i])
-				if bestAlt >= faultDegradeMs {
-					bothDegradedVol += traceVol[i]
+			return pt, nil
+		})
+	if perr != nil {
+		return Result{}, perr
+	}
+	var prefDeg, altDeg stats.Dist
+	var sampledVol, degradedVol, bothDegradedVol float64
+	for _, pt := range parts {
+		for _, v := range pt.sampled {
+			sampledVol += v
+		}
+		for _, r := range pt.recs {
+			degradedVol += r.vol
+			prefDeg.Add(r.d, r.vol)
+			if !math.IsInf(r.alt, 1) {
+				altDeg.Add(r.alt, r.vol)
+				if r.alt >= faultDegradeMs {
+					bothDegradedVol += r.vol
 				}
 			}
 		}

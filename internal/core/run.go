@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -35,6 +36,72 @@ func RunAllContext(ctx context.Context, s *Scenario, timeout time.Duration) ([]R
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// RunManyParallelContext runs the named experiments concurrently on the
+// shared scenario and returns their results in the given order. Every
+// experiment is a read-only consumer of the built world (lazy caches are
+// internally guarded), so concurrent runs produce the same Results as
+// sequential ones; the registry-order merge makes the output byte-stable.
+//
+// Error semantics match the sequential runner's observable behavior:
+// results are cut at the first (registry-order) failure, and that
+// experiment's error is returned with the successful prefix. Experiments
+// after the failing one have still consumed CPU, but their results are
+// discarded so callers cannot see a gap. Unlike RunAllContext, siblings
+// are not cancelled when one experiment fails — induced cancellations at
+// lower indices would otherwise mask the real error nondeterministically.
+func RunManyParallelContext(ctx context.Context, s *Scenario, ids []string, timeout time.Duration) ([]Result, error) {
+	byID := make(map[string]Experiment)
+	for _, e := range Experiments() {
+		byID[e.ID] = e
+	}
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+	type outcome struct {
+		r   Result
+		err error
+	}
+	outs := make([]outcome, len(exps))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.workers())
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := runWithContext(ctx, s, e, timeout)
+			outs[i] = outcome{r, err}
+		}(i, e)
+	}
+	wg.Wait()
+	var res []Result
+	for _, o := range outs {
+		if o.err != nil {
+			return res, o.err
+		}
+		res = append(res, o.r)
+	}
+	return res, nil
+}
+
+// RunAllParallelContext runs the whole registry concurrently (bounded by
+// the scenario's worker budget) and returns results in registry order.
+// See RunManyParallelContext for the determinism and error contract.
+func RunAllParallelContext(ctx context.Context, s *Scenario, timeout time.Duration) ([]Result, error) {
+	exps := Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return RunManyParallelContext(ctx, s, ids, timeout)
 }
 
 func runWithContext(ctx context.Context, s *Scenario, e Experiment, timeout time.Duration) (Result, error) {

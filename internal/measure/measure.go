@@ -8,7 +8,9 @@ package measure
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"beatbgp/internal/geo"
 	"beatbgp/internal/netpath"
@@ -68,21 +70,27 @@ type Target struct {
 }
 
 // Platform issues measurements and accounts for credits.
+//
+// Measurement noise is keyed by ⟨vantage point, target, probe time⟩ —
+// never by call order — so any set of probes returns the same values
+// whatever the issue order or concurrency, and repeating a probe repeats
+// its measurement (a deterministic platform measuring a deterministic
+// network). Probes are therefore safe to issue from parallel workers; use
+// WithSim to give each worker a private simulator memo.
 type Platform struct {
 	topo *topology.Topo
 	sim  *netsim.Sim
 	cfg  Config
-	rng  *xrand.Rand
 	vps  []VantagePoint
 
-	creditsUsed int
+	creditsUsed *atomic.Int64 // shared across WithSim views
 }
 
 // New enumerates vantage points (every ⟨footprint city, eyeball AS⟩ pair)
 // and returns a platform.
 func New(t *topology.Topo, sim *netsim.Sim, cfg Config) *Platform {
 	cfg.setDefaults()
-	p := &Platform{topo: t, sim: sim, cfg: cfg, rng: xrand.New(cfg.Seed ^ 0x5eedc)}
+	p := &Platform{topo: t, sim: sim, cfg: cfg, creditsUsed: new(atomic.Int64)}
 	for _, asID := range t.ByClass(topology.Eyeball) {
 		for _, city := range t.ASes[asID].Cities {
 			id := len(p.vps)
@@ -126,14 +134,41 @@ func (p *Platform) Rotation(day, n int) []VantagePoint {
 	return out
 }
 
+// WithSim returns a view of the platform that resolves measurements
+// against the given simulator but shares the vantage-point set and the
+// credit meter. Hand each parallel worker a view over its own Sim clone
+// so the simulator's lazy memos stay uncontended.
+func (p *Platform) WithSim(sim *netsim.Sim) *Platform {
+	v := *p
+	v.sim = sim
+	return &v
+}
+
 // CreditsUsed reports total credits consumed.
-func (p *Platform) CreditsUsed() int { return p.creditsUsed }
+func (p *Platform) CreditsUsed() int { return int(p.creditsUsed.Load()) }
+
+// nameHash folds a target name into the measurement key space.
+func nameHash(s string) uint64 {
+	h := uint64(0xcbf29ce484222325) // FNV-1a
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// probeRNG returns the noise stream for one ⟨vp, target, time⟩ probe.
+// Keying by the probe's identity (not by call order) is what makes the
+// platform order-independent and safe under parallel fan-out.
+func (p *Platform) probeRNG(vp VantagePoint, tgt Target, t float64) *xrand.Rand {
+	return xrand.Derive(p.cfg.Seed^0x5eedc, uint64(vp.ID), nameHash(tgt.Name), math.Float64bits(t))
+}
 
 // Ping probes the target from the VP at simulated minute t and returns
 // the minimum RTT over the configured packet count, like the ping tool's
 // "min" column. It consumes PingCost credits.
 func (p *Platform) Ping(vp VantagePoint, tgt Target, t float64) (float64, error) {
-	p.creditsUsed += p.cfg.PingCost
+	p.creditsUsed.Add(int64(p.cfg.PingCost))
 	route, err := tgt.Route(vp)
 	if err != nil {
 		return 0, fmt.Errorf("measure: ping %s from vp%d: %w", tgt.Name, vp.ID, err)
@@ -142,9 +177,10 @@ func (p *Platform) Ping(vp VantagePoint, tgt Target, t float64) (float64, error)
 	if tgt.ExtraRTTMs != nil {
 		extra = tgt.ExtraRTTMs(vp)
 	}
+	rng := p.probeRNG(vp, tgt, t)
 	best := 0.0
 	for i := 0; i < p.cfg.PingsPerProbe; i++ {
-		rtt := p.sim.RouteRTTMs(route, vp.Prefix, t+float64(i)*0.01) + extra + p.rng.Exp(0.2)
+		rtt := p.sim.RouteRTTMs(route, vp.Prefix, t+float64(i)*0.01) + extra + rng.Exp(0.2)
 		if i == 0 || rtt < best {
 			best = rtt
 		}
@@ -165,7 +201,7 @@ type TracerouteResult struct {
 // enters the target's network, in the style of the paper's RIPE-probe
 // heuristic. It consumes TracerouteCost credits.
 func (p *Platform) Traceroute(vp VantagePoint, tgt Target) (TracerouteResult, error) {
-	p.creditsUsed += p.cfg.TracerouteCost
+	p.creditsUsed.Add(int64(p.cfg.TracerouteCost))
 	route, err := tgt.Route(vp)
 	if err != nil {
 		return TracerouteResult{}, fmt.Errorf("measure: traceroute %s from vp%d: %w", tgt.Name, vp.ID, err)
@@ -175,7 +211,7 @@ func (p *Platform) Traceroute(vp VantagePoint, tgt Target) (TracerouteResult, er
 	}
 	res := TracerouteResult{Route: route}
 	res.IngressCity = route.Hops[len(route.Hops)-1].Ingress
-	res.IngressKnown = p.rng.Bool(p.cfg.IngressDetect)
+	res.IngressKnown = p.probeRNG(vp, tgt, -1).Bool(p.cfg.IngressDetect)
 	res.IngressDistKm = geo.DistanceKm(
 		p.topo.Catalog.City(vp.City).Loc,
 		p.topo.Catalog.City(res.IngressCity).Loc)

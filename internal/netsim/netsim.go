@@ -20,6 +20,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"beatbgp/internal/netpath"
 	"beatbgp/internal/topology"
@@ -164,11 +165,21 @@ type FaultOverlay interface {
 	ExtraLinkMs(linkID int, t float64) float64
 }
 
-// Sim evaluates the congestion model. Safe for use from one goroutine.
+// Sim evaluates the congestion model. Every per-entity process is a pure
+// function of (seed, entity), memoized on first use; the memo is guarded,
+// so queries are safe from any number of goroutines and identical under
+// any interleaving. Hot parallel loops should still prefer a per-worker
+// Clone — it samples the same world from a private memo, trading a little
+// duplicated schedule construction for zero lock traffic.
+//
+// Configuration mutators (SetFaults, ScaleLinkFailures) are not meant for
+// concurrent use with queries: install overlays and failure-rate scales
+// before fanning out, exactly as before.
 type Sim struct {
 	topo *topology.Topo
 	cfg  Config
 
+	mu        sync.RWMutex
 	prefixes  map[int]*prefixProc
 	links     map[int]*linkProc
 	asNoise   map[int]float64
@@ -209,6 +220,23 @@ func New(t *topology.Topo, cfg Config) *Sim {
 
 // Config returns the effective configuration (defaults applied).
 func (s *Sim) Config() Config { return s.cfg }
+
+// Clone returns a simulator over the same topology, configuration, fault
+// overlay, and failure-rate scales, with a private (empty) process memo.
+// Because every process is a pure function of (seed, entity), a clone
+// returns bit-identical answers to its parent for every query; it exists
+// as the per-worker state factory for parallel fan-out (internal/par), so
+// hot loops sample without cross-worker lock contention.
+func (s *Sim) Clone() *Sim {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := New(s.topo, s.cfg)
+	for l, f := range s.failRate {
+		c.failRate[l] = f
+	}
+	c.faults = s.faults
+	return c
+}
 
 // SetFaults installs (or, with nil, removes) a scheduled fault overlay.
 // The overlay composes with the stochastic processes — it does not replace
@@ -282,25 +310,39 @@ func diurnal(tMinutes, phaseHours float64) float64 {
 }
 
 func (s *Sim) prefixProcFor(p topology.Prefix) *prefixProc {
-	if pp, ok := s.prefixes[p.ID]; ok {
+	s.mu.RLock()
+	pp, ok := s.prefixes[p.ID]
+	s.mu.RUnlock()
+	if ok {
 		return pp
 	}
 	rng := s.rngFor(kindPrefix, p.ID)
 	origin := s.topo.ASes[p.Origin]
 	city := s.topo.Catalog.City(p.City)
-	pp := &prefixProc{
+	pp = &prefixProc{
 		baseMs:     origin.LastMileMs * rng.LogNormal(0, 0.3),
 		diurnalMs:  rng.LogNormal(math.Log(s.cfg.LastMileDiurnalMedianMs), 0.8),
 		phaseHours: city.Loc.Lon / 15,
 		incidents: drawIncidents(rng, s.cfg.HorizonMinutes,
 			s.cfg.PrefixIncidentsPerDay, s.cfg.PrefixIncidentMeanMin, 4, 1.3, 200),
 	}
-	s.prefixes[p.ID] = pp
+	// The process is a pure function of (seed, prefix): a racing build
+	// produced an identical value, so keep whichever pointer landed first.
+	s.mu.Lock()
+	if prior, ok := s.prefixes[p.ID]; ok {
+		pp = prior
+	} else {
+		s.prefixes[p.ID] = pp
+	}
+	s.mu.Unlock()
 	return pp
 }
 
 func (s *Sim) linkProcFor(linkID int) *linkProc {
-	if lp, ok := s.links[linkID]; ok {
+	s.mu.RLock()
+	lp, ok := s.links[linkID]
+	s.mu.RUnlock()
+	if ok {
 		return lp
 	}
 	rng := s.rngFor(kindLink, linkID)
@@ -318,23 +360,34 @@ func (s *Sim) linkProcFor(linkID int) *linkProc {
 		impair = rng.Uniform(s.cfg.LinkImpairMinMs, impairMax)
 	}
 	phase := s.topo.Catalog.City(link.Cities[0]).Loc.Lon / 15
-	lp := &linkProc{
+	lp = &linkProc{
 		impairMs:  impair,
 		diurnalMs: rng.LogNormal(0, 0.8), // median 1 ms
 		phase:     phase,
 		incidents: drawIncidents(rng, s.cfg.HorizonMinutes,
 			s.cfg.LinkIncidentsPerDay, s.cfg.LinkIncidentMeanMin, 3, 1.5, 100),
 	}
-	s.links[linkID] = lp
+	s.mu.Lock()
+	if prior, ok := s.links[linkID]; ok {
+		lp = prior
+	} else {
+		s.links[linkID] = lp
+	}
+	s.mu.Unlock()
 	return lp
 }
 
 func (s *Sim) asNoiseFor(asID int) float64 {
-	if v, ok := s.asNoise[asID]; ok {
+	s.mu.RLock()
+	v, ok := s.asNoise[asID]
+	s.mu.RUnlock()
+	if ok {
 		return v
 	}
-	v := s.rngFor(kindAS, asID).Uniform(0.1, 0.5)
+	v = s.rngFor(kindAS, asID).Uniform(0.1, 0.5)
+	s.mu.Lock()
 	s.asNoise[asID] = v
+	s.mu.Unlock()
 	return v
 }
 
@@ -425,16 +478,25 @@ func (s *Sim) ScaleLinkFailures(linkID int, factor float64) {
 }
 
 func (s *Sim) failSchedule(linkID int) []incident {
-	if f, ok := s.linkFails[linkID]; ok {
+	s.mu.RLock()
+	f, ok := s.linkFails[linkID]
+	s.mu.RUnlock()
+	if ok {
 		return f
 	}
 	rate := s.cfg.LinkFailuresPerDay
-	if f, ok := s.failRate[linkID]; ok {
-		rate *= f
+	if scale, ok := s.failRate[linkID]; ok {
+		rate *= scale
 	}
 	rng := s.rngFor(kindLinkFail, linkID)
-	f := drawIncidents(rng, s.cfg.HorizonMinutes, rate, s.cfg.LinkRepairMeanMin, 1, 2, 1)
-	s.linkFails[linkID] = f
+	f = drawIncidents(rng, s.cfg.HorizonMinutes, rate, s.cfg.LinkRepairMeanMin, 1, 2, 1)
+	s.mu.Lock()
+	if prior, ok := s.linkFails[linkID]; ok {
+		f = prior
+	} else {
+		s.linkFails[linkID] = f
+	}
+	s.mu.Unlock()
 	return f
 }
 

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -282,5 +283,77 @@ func BenchmarkMinRTT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.MinRTTMs(f.route, f.prefix, float64(i%10000), 15)
+	}
+}
+
+// TestCloneBitIdentical: a clone samples the same world as its parent —
+// the per-worker state-factory contract of the parallel runtime.
+func TestCloneBitIdentical(t *testing.T) {
+	f := setup(t)
+	parent := New(f.topo, Config{Seed: 11})
+	// Warm the parent out of order relative to how the clone will query.
+	_ = parent.MinRTTMs(f.route, f.prefix, 300, 15)
+	clone := parent.Clone()
+	for _, tm := range []float64{0, 45, 300, 1440, 9999} {
+		if a, b := parent.MinRTTMs(f.route, f.prefix, tm, 15), clone.MinRTTMs(f.route, f.prefix, tm, 15); a != b {
+			t.Fatalf("t=%v: clone MinRTT %v != parent %v", tm, b, a)
+		}
+		if a, b := parent.LastMileMs(f.prefix, tm), clone.LastMileMs(f.prefix, tm); a != b {
+			t.Fatalf("t=%v: clone LastMile %v != parent %v", tm, b, a)
+		}
+		if a, b := parent.RouteUp(f.route, tm), clone.RouteUp(f.route, tm); a != b {
+			t.Fatalf("t=%v: clone RouteUp %v != parent %v", tm, b, a)
+		}
+	}
+}
+
+// TestCloneCarriesFailureScales: failure-rate scaling installed before
+// cloning must shape the clone's outage schedules identically.
+func TestCloneCarriesFailureScales(t *testing.T) {
+	f := setup(t)
+	if len(f.route.Links) == 0 {
+		t.Skip("route crosses no interdomain link")
+	}
+	parent := New(f.topo, Config{Seed: 3})
+	parent.ScaleLinkFailures(f.route.Links[0], 50)
+	clone := parent.Clone()
+	a := parent.DowntimeMinutes(f.route.Links[0], 0, 16*24*60)
+	b := clone.DowntimeMinutes(f.route.Links[0], 0, 16*24*60)
+	if a != b {
+		t.Fatalf("clone downtime %v != parent %v", b, a)
+	}
+}
+
+// TestConcurrentQueries hits one shared Sim from many goroutines under
+// -race: the memo must stay consistent and the answers bit-identical to a
+// serially warmed twin.
+func TestConcurrentQueries(t *testing.T) {
+	f := setup(t)
+	shared := New(f.topo, Config{Seed: 7})
+	oracle := New(f.topo, Config{Seed: 7})
+	times := make([]float64, 64)
+	for i := range times {
+		times[i] = float64(i) * 37
+	}
+	want := make([]float64, len(times))
+	for i, tm := range times {
+		want[i] = oracle.MinRTTMs(f.route, f.prefix, tm, 15)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i, tm := range times {
+				if got := shared.MinRTTMs(f.route, f.prefix, tm, 15); got != want[i] {
+					done <- fmt.Errorf("t=%v: concurrent %v != serial %v", tm, got, want[i])
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -100,6 +100,17 @@ func NewGenerator(sim *netsim.Sim, res *netpath.Resolver, cfg Config) *Generator
 // Config returns the effective configuration.
 func (g *Generator) Config() Config { return g.cfg }
 
+// WithSim returns a generator that samples the given simulator but keeps
+// the configuration and resolver. Session draws are keyed by ⟨prefix,
+// PoP⟩, not by simulator identity, so a view over a Clone of the original
+// Sim replays identical traces; parallel replay hands each worker its own
+// clone to keep the simulator's lazy memos uncontended.
+func (g *Generator) WithSim(sim *netsim.Sim) *Generator {
+	v := *g
+	v.sim = sim
+	return &v
+}
+
 // Observe sprays sessions across the prefix's top-K egress options at the
 // PoP and returns the per-window medians. Options that cannot be resolved
 // to a physical path are skipped; at least one resolvable route is

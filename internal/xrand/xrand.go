@@ -41,6 +41,26 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// Derive returns a generator that is a pure function of (seed, keys):
+// unlike Split it consumes no draw and touches no shared state, so it is
+// safe to call concurrently and yields the same stream regardless of call
+// order. This is the RNG-splitting rule for sharded parallel work
+// (internal/par): key every stream by the item or shard index — never by
+// the worker or by scheduling — and random draws stay bit-identical at
+// any worker count. Nearby keys yield unrelated streams (each key passes
+// through a full splitmix64 round before mixing).
+func Derive(seed uint64, keys ...uint64) *Rand {
+	h := seed
+	for _, k := range keys {
+		x := k
+		h ^= splitmix64(&x)
+		// Stir between keys so (a,b) and (b,a) land on different states.
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	}
+	return New(h)
+}
+
 // Split derives an independent generator from r, keyed by label. Deriving
 // rather than sharing keeps subsystem streams decoupled: adding draws in
 // one module does not perturb another module's sequence.
