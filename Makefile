@@ -1,14 +1,19 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par fuzz fuzz-par stress-par bench bench-json clean
+.PHONY: all build vet fmt-check test race race-par fuzz fuzz-par stress-par bench bench-json clean
 
-all: vet build test
+all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fail (and list the offenders) if any tracked Go file drifts from gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt drift in:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -17,11 +22,13 @@ race: race-par
 	$(GO) test -race ./...
 
 # Race-focused pass over the parallel runtime and everything it fans out
-# into: the pool itself, the goroutine-confined caches it hammers, and the
-# parallel fig1 path end to end (efTraces under the determinism sweep).
+# into: the pool itself, the goroutine-confined caches it hammers, the
+# parallel fig1 path end to end (efTraces under the determinism sweep),
+# and two derived scenarios sharing a world's immutable artifacts.
 race-par:
 	$(GO) vet ./internal/par/ ./internal/core/
 	$(GO) test -race ./internal/par/ ./internal/cable/ ./internal/netsim/ ./internal/bgp/ ./internal/workload/
+	$(GO) test -race -run 'TestConcurrentDerivedScenarios|TestDeriveArtifactReuse' ./internal/core/
 	$(GO) test -race -run 'TestRenderDeterministicAcrossWorkers|TestParallelRunnerMatchesSequential' .
 
 # Short fuzz pass over Config validation; raise FUZZTIME for a longer run.
@@ -51,7 +58,7 @@ BENCHTIME ?= 1x
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	{ $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ . ; \
-	  $(GO) test -bench='EFTraceReplay|Fig3AnycastSweep' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/core/ ; } \
+	  $(GO) test -bench='EFTraceReplay|Fig3AnycastSweep|SiteDensitySweep' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/core/ ; } \
 	  | /tmp/benchjson -o BENCH_$(N).json
 
 clean:

@@ -54,6 +54,11 @@ type (
 	Result = core.Result
 	// Experiment is one runnable paper artifact.
 	Experiment = core.Experiment
+	// BuildReport instruments a scenario build: per-stage wall time and
+	// rebuilt-vs-reused counts (see Scenario.BuildReport and Derive).
+	BuildReport = core.BuildReport
+	// StageReport is one stage of a BuildReport.
+	StageReport = core.StageReport
 )
 
 // Domain configuration and result types, for callers composing their own
@@ -128,7 +133,19 @@ const (
 	ClassTransit    = provider.ClassTransit
 )
 
-// NewScenario builds the simulation world for the config.
+// NewScenario builds the simulation world for the config: every stage of
+// the build graph (topology → provider/cdn/dns → oracle/resolver/sim/gen)
+// runs fresh. To build a variation of an existing world, prefer
+// Scenario.Derive:
+//
+//	sub, err := s.Derive(func(c *beatbgp.Config) { c.Net.DisableSharedFate = true })
+//
+// Derive rebuilds only the stages whose config changed and shares the
+// unchanged immutable artifacts with the receiver by pointer, so sweeping
+// a single knob costs a fraction of a full build. Derived scenarios are
+// byte-for-byte equivalent to fresh ones: every experiment's Render()
+// output is identical, at any worker count. Scenario.BuildReport shows
+// what was rebuilt and what each stage cost.
 func NewScenario(cfg Config) (*Scenario, error) { return core.NewScenario(cfg) }
 
 // Experiments returns the full registry in the paper's order.
@@ -138,9 +155,10 @@ func Experiments() []Experiment { return core.Experiments() }
 // "xgroom") against the scenario.
 func Run(s *Scenario, id string) (Result, error) { return core.RunByID(s, id) }
 
-// RunSeeds runs one experiment across several seeds — a fresh world each
-// — and aggregates every reported table cell into mean/min/max, the
-// robustness check for any headline number.
+// RunSeeds runs one experiment across several seeds — each world derived
+// from the previous via Scenario.Derive, reseeding every stage the caller
+// left on defaults — and aggregates every reported table cell into
+// mean/min/max, the robustness check for any headline number.
 func RunSeeds(base Config, id string, seeds []uint64) (Result, error) {
 	return core.RunSeeds(base, id, seeds)
 }
@@ -150,7 +168,7 @@ func RunSeeds(base Config, id string, seeds []uint64) (Result, error) {
 func RunAll(s *Scenario) ([]Result, error) {
 	var out []Result
 	for _, e := range Experiments() {
-		r, err := e.Run(s)
+		r, err := e.Run(context.Background(), s)
 		if err != nil {
 			return out, err
 		}

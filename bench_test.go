@@ -108,3 +108,22 @@ func BenchmarkScenarioBuild(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScenarioDerive measures a Net-only derived build on a fixed
+// base world: the topology, provider, CDN, DNS mapping, oracle, and
+// resolver are shared by pointer, so each iteration pays only for the
+// fresh simulator and workload generator. Compare against
+// BenchmarkScenarioBuild for the sweep-path win the build graph buys.
+func BenchmarkScenarioDerive(b *testing.B) {
+	base, err := beatbgp.NewScenario(beatbgp.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := base.Derive(func(c *beatbgp.Config) { c.Net.DisableSharedFate = true })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

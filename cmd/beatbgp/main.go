@@ -40,6 +40,7 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "run each experiment across N seeds (fresh worlds) and report mean/min/max per table cell")
 		timeout  = flag.Duration("timeout", 0, "per-experiment deadline (e.g. 2m); 0 means none")
 		workers  = flag.Int("workers", 0, "parallel worker budget for sweeps and the experiment runner; 0 means GOMAXPROCS")
+		bstats   = flag.Bool("buildstats", false, "print the scenario build report (per-stage wall time, rebuilt vs reused)")
 	)
 	flag.Parse()
 
@@ -110,6 +111,9 @@ func main() {
 	fmt.Printf("# scenario seed=%d built in %v: %d ASes, %d links, %d prefixes\n",
 		*seed, time.Since(start).Round(time.Millisecond),
 		s.Topo.NumASes(), len(s.Topo.Links), len(s.Topo.Prefixes))
+	if *bstats {
+		fmt.Print(s.BuildReport().Render())
+	}
 
 	// Single-scenario runs go through the parallel runner: experiments
 	// execute concurrently on the shared world, results come back (and

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"beatbgp/internal/cdn"
 	"beatbgp/internal/stats"
 )
@@ -8,17 +11,21 @@ import (
 // Ablations: each disables one of the design choices DESIGN.md calls out
 // as load-bearing for the paper's findings, and reports the same summary
 // statistics as the affected figure so the effect is directly comparable.
+// Each builds its variant worlds with Scenario.Derive, so only the stages
+// its knob touches are rebuilt (see build.go).
 
 // AblationSharedFate turns off the shared-fate last-mile congestion
 // (§3.1.1's mechanism) and recomputes the Figure 1 summary: without it,
 // congestion becomes route-specific and dynamic traffic engineering finds
 // more wins.
-func AblationSharedFate(s *Scenario) (Result, error) {
+func AblationSharedFate(ctx context.Context, s *Scenario) (Result, error) {
 	run := func(disable bool) (improvable, degraded float64, err error) {
-		cfg := s.Cfg
-		cfg.Net.DisableSharedFate = disable
-		cfg.Workload.Days = 3
-		sub, err := NewScenario(cfg)
+		// Net + Workload only: topology, provider, CDN, and DNS are
+		// shared with the base scenario.
+		sub, err := s.DeriveContext(ctx, func(c *Config) {
+			c.Net.DisableSharedFate = disable
+			c.Workload.Days = 3
+		})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -34,7 +41,10 @@ func AblationSharedFate(s *Scenario) (Result, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		deg, _ := r311.Tables[0].Cell("mean_frac_windows_preferred_degraded", "value")
+		deg, ok := r311.Tables[0].Cell("mean_frac_windows_preferred_degraded", "value")
+		if !ok {
+			return 0, 0, fmt.Errorf("core: afate: t311 cell mean_frac_windows_preferred_degraded missing")
+		}
 		return point.FracAtLeast(5), deg, nil
 	}
 	impOn, degOn, err := run(false)
@@ -57,10 +67,13 @@ func AblationSharedFate(s *Scenario) (Result, error) {
 }
 
 // AblationECS gives the redirector oracle granularity: noiseless training
-// and per-client decisions wherever the resolver sends ECS. The paper's
-// point is that this granularity is unavailable in practice; with it,
-// prediction errors shrink toward the Figure 3 opportunity.
-func AblationECS(s *Scenario) (Result, error) {
+// and per-client decisions wherever the resolver sends ECS — and, via a
+// DNS-only derived world, an ECS-bearing resolver for *every* client, so
+// the oracle arm is truly per-client rather than per-LDNS for the 0.1%
+// of ASes that happen to send ECS. The paper's point is that this
+// granularity is unavailable in practice; with it, prediction errors
+// shrink toward the Figure 3 opportunity.
+func AblationECS(ctx context.Context, s *Scenario) (Result, error) {
 	rd, _, err := odinRedirector(s, fig4SampleRate, 0)
 	if err != nil {
 		return Result{}, err
@@ -69,7 +82,16 @@ func AblationECS(s *Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	oracle, err := evaluateRedirection(s, cdn.TrainOpts{UseECS: true, NoiseMs: -1})
+	// DNS-only mutation: the derived world shares the topology, the
+	// provider, the CDN, and the oracle with the base scenario and
+	// rebuilds only the resolver population.
+	ecsWorld, err := s.DeriveContext(ctx, func(c *Config) {
+		c.DNS.ISPECSProb = 1
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	oracle, err := evaluateRedirection(ecsWorld, cdn.TrainOpts{UseECS: true, NoiseMs: -1})
 	if err != nil {
 		return Result{}, err
 	}
@@ -87,12 +109,12 @@ func AblationECS(s *Scenario) (Result, error) {
 // AblationPNI makes dedicated private interconnects exactly as likely to
 // carry a persistent impairment as public links, removing the §3.1.2
 // capacity-management advantage, and recomputes the Figure 1/2 summaries.
-func AblationPNI(s *Scenario) (Result, error) {
+func AblationPNI(ctx context.Context, s *Scenario) (Result, error) {
 	run := func(factor float64) (improvable, peerWorseTail float64, err error) {
-		cfg := s.Cfg
-		cfg.Net.PNIImpairFactor = factor
-		cfg.Workload.Days = 3
-		sub, err := NewScenario(cfg)
+		sub, err := s.DeriveContext(ctx, func(c *Config) {
+			c.Net.PNIImpairFactor = factor
+			c.Workload.Days = 3
+		})
 		if err != nil {
 			return 0, 0, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -42,6 +43,24 @@ func BenchmarkEFTraceReplay(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			benchEFReplay(b, workers)
 		})
+	}
+}
+
+// BenchmarkSiteDensitySweep runs the xsites study end to end — the
+// heaviest derived-scenario sweep (four CDN densities, each a full
+// anycast evaluation). With the staged build graph every density is a
+// CDN-only Derive: the topology, provider WAN, and DNS mapping are built
+// once on the base scenario and shared across the sweep.
+func BenchmarkSiteDensitySweep(b *testing.B) {
+	s, err := NewScenario(benchConfig(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SiteDensityStudy(context.Background(), s); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -97,6 +98,9 @@ func (c *Config) Validate() error {
 }
 
 // Scenario is a fully built simulation world shared by the experiments.
+// Scenarios come from NewScenario (every stage built fresh) or from
+// Derive on an existing scenario (unchanged stages shared by pointer —
+// see build.go for the stage graph and the sharing rules).
 type Scenario struct {
 	Cfg    Config
 	Topo   *topology.Topo
@@ -107,6 +111,19 @@ type Scenario struct {
 	Oracle *bgp.Oracle
 	Res    *netpath.Resolver
 	Gen    *workload.Generator
+
+	// userCfg is the caller's config before setDefaults, kept so Derive
+	// can re-run seed derivation centrally when Config.Seed changes.
+	userCfg Config
+	keys    buildKeys
+	report  BuildReport
+
+	// Frozen per-stage topology snapshots: the world as generated
+	// (baseTopo) and after the provider build (provTopo). Downstream
+	// stages clone these before extending, which is what lets Derive
+	// rebuild e.g. only the CDN without replaying the provider stage.
+	baseTopo *topology.Topo
+	provTopo *topology.Topo
 
 	// The lazy caches are built under their own mutexes so concurrent
 	// experiments (RunAllContext) block only on the cache they share.
@@ -121,38 +138,21 @@ func (s *Scenario) workers() int { return par.Workers(s.Cfg.Workers) }
 
 // NewScenario builds the world: topology, content provider (with WAN and
 // peering), anycast CDN sites, resolver population, and the congestion
-// simulator.
+// simulator. It runs the full staged build graph (see build.go) with
+// nothing to reuse; use Scenario.Derive to build variations cheaply.
 func NewScenario(cfg Config) (*Scenario, error) {
+	return NewScenarioContext(context.Background(), cfg)
+}
+
+// NewScenarioContext is NewScenario honoring context cancellation between
+// build stages.
+func NewScenarioContext(ctx context.Context, cfg Config) (*Scenario, error) {
+	user := cfg
 	cfg.setDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	topo, err := topology.Generate(cfg.Topology)
-	if err != nil {
-		return nil, fmt.Errorf("core: topology: %w", err)
-	}
-	prov, err := provider.Build(topo, cfg.Provider)
-	if err != nil {
-		return nil, fmt.Errorf("core: provider: %w", err)
-	}
-	cd, err := cdn.Build(topo, cfg.CDN)
-	if err != nil {
-		return nil, fmt.Errorf("core: cdn: %w", err)
-	}
-	dns := dnsmap.Build(topo, cfg.DNS)
-	sim := netsim.New(topo, cfg.Net)
-	res := netpath.NewResolver(topo)
-	return &Scenario{
-		Cfg:    cfg,
-		Topo:   topo,
-		Prov:   prov,
-		CDN:    cd,
-		DNS:    dns,
-		Sim:    sim,
-		Oracle: bgp.NewOracle(topo),
-		Res:    res,
-		Gen:    workload.NewGenerator(sim, res, cfg.Workload),
-	}, nil
+	return build(ctx, cfg, user, nil)
 }
 
 // Result is one experiment's output.
@@ -180,41 +180,51 @@ func (r Result) Render() string {
 	return b.String()
 }
 
-// Experiment is a runnable reproduction of one paper artifact.
+// Experiment is a runnable reproduction of one paper artifact. Run
+// receives a context so studies that build sub-scenarios (the sweep
+// studies, via Scenario.DeriveContext) stop at the per-experiment
+// deadline instead of finishing the rebuild loop.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(*Scenario) (Result, error)
+	Run   func(context.Context, *Scenario) (Result, error)
+}
+
+// noCtx adapts an experiment that never blocks on sub-scenario builds:
+// its inner sweeps already observe cancellation through the parallel
+// runtime, so the context needs no explicit threading.
+func noCtx(run func(*Scenario) (Result, error)) func(context.Context, *Scenario) (Result, error) {
+	return func(_ context.Context, s *Scenario) (Result, error) { return run(s) }
 }
 
 // Experiments returns the full registry in the order of the paper.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"fig1", "CDF of median MinRTT difference, BGP minus best alternate (Figure 1)", Figure1},
-		{"fig2", "Peer vs transit and private vs public peering differences (Figure 2)", Figure2},
-		{"t31", "§3.1 in-text: improvable traffic share and client-PoP distances", TableS31},
-		{"t311", "§3.1.1: degradations vs improvement windows; persistence of winners", TableS311},
-		{"fig3", "CCDF of anycast minus best unicast per request (Figure 3)", Figure3},
-		{"t32", "§2.3.2 in-text: distance to nth nearest front-end", TableS32},
-		{"fig4", "CDF of improvement from LDNS-grade DNS redirection (Figure 4)", Figure4},
-		{"fig5", "Per-country median Standard minus Premium latency (Figure 5)", Figure5},
-		{"t33", "§3.3 in-text: ingress distance by tier; India case study", TableS33},
-		{"t4g", "§4 footnote: 10 MB goodput, Premium vs Standard", TableGoodput},
+		{"fig1", "CDF of median MinRTT difference, BGP minus best alternate (Figure 1)", noCtx(Figure1)},
+		{"fig2", "Peer vs transit and private vs public peering differences (Figure 2)", noCtx(Figure2)},
+		{"t31", "§3.1 in-text: improvable traffic share and client-PoP distances", noCtx(TableS31)},
+		{"t311", "§3.1.1: degradations vs improvement windows; persistence of winners", noCtx(TableS311)},
+		{"fig3", "CCDF of anycast minus best unicast per request (Figure 3)", noCtx(Figure3)},
+		{"t32", "§2.3.2 in-text: distance to nth nearest front-end", noCtx(TableS32)},
+		{"fig4", "CDF of improvement from LDNS-grade DNS redirection (Figure 4)", noCtx(Figure4)},
+		{"fig5", "Per-country median Standard minus Premium latency (Figure 5)", noCtx(Figure5)},
+		{"t33", "§3.3 in-text: ingress distance by tier; India case study", noCtx(TableS33)},
+		{"t4g", "§4 footnote: 10 MB goodput, Premium vs Standard", noCtx(TableGoodput)},
 		{"xpeer", "§3.1.3 open question: reduced peering footprint", PeeringReduction},
-		{"xgroom", "§3.2.2 open question: anycast grooming, nature vs nurture", GroomingStudy},
-		{"xwan", "§3.3.2 open question: single-WAN behavior of public routes", SingleWANStudy},
-		{"xsplit", "§4: split TCP with WAN vs public backend", SplitTCPStudy},
+		{"xgroom", "§3.2.2 open question: anycast grooming, nature vs nurture", noCtx(GroomingStudy)},
+		{"xwan", "§3.3.2 open question: single-WAN behavior of public routes", noCtx(SingleWANStudy)},
+		{"xsplit", "§4: split TCP with WAN vs public backend", noCtx(SplitTCPStudy)},
 		{"xdiv", "§4: route diversity and peer fragility", RouteDiversityStudy},
-		{"xcap", "Edge Fabric's day job: capacity-driven egress overrides", CapacityStudy},
-		{"xdyn", "§4: site outages — anycast failover vs DNS caching", SiteOutageStudy},
-		{"xfaults", "Injected faults: BGP-vs-alternates degradation and blackholes", FaultStudy},
-		{"xavail", "Injected faults: anycast vs DNS-redirection availability", AnycastFaultAvailability},
-		{"xhybrid", "§4: hybrid anycast + DNS redirection policies", HybridStudy},
-		{"xodin", "Odin-style measurement pipeline: budget vs prediction quality", OdinStudy},
+		{"xcap", "Edge Fabric's day job: capacity-driven egress overrides", noCtx(CapacityStudy)},
+		{"xdyn", "§4: site outages — anycast failover vs DNS caching", noCtx(SiteOutageStudy)},
+		{"xfaults", "Injected faults: BGP-vs-alternates degradation and blackholes", noCtx(FaultStudy)},
+		{"xavail", "Injected faults: anycast vs DNS-redirection availability", noCtx(AnycastFaultAvailability)},
+		{"xhybrid", "§4: hybrid anycast + DNS redirection policies", noCtx(HybridStudy)},
+		{"xodin", "Odin-style measurement pipeline: budget vs prediction quality", noCtx(OdinStudy)},
 		{"xsites", "§3.2.2: CDN build-out — how many sites are enough?", SiteDensityStudy},
-		{"xinfer", "§3.2.2 / ref [26]: predicting catchments from public data", CatchmentInference},
+		{"xinfer", "§3.2.2 / ref [26]: predicting catchments from public data", noCtx(CatchmentInference)},
 		{"xcorridor", "What-if: the WAN leases the Europe-Asia corridor", CorridorStudy},
-		{"xqoe", "§4: the improvable slice in sessions and engagement terms", QoEStudy},
+		{"xqoe", "§4: the improvable slice in sessions and engagement terms", noCtx(QoEStudy)},
 		{"afate", "Ablation: shared-fate congestion disabled", AblationSharedFate},
 		{"aecs", "Ablation: oracle-granularity DNS redirection", AblationECS},
 		{"apni", "Ablation: PNIs as impairment-prone as public links", AblationPNI},
@@ -225,7 +235,7 @@ func Experiments() []Experiment {
 func RunByID(s *Scenario, id string) (Result, error) {
 	for _, e := range Experiments() {
 		if e.ID == id {
-			return e.Run(s)
+			return e.Run(context.Background(), s)
 		}
 	}
 	return Result{}, fmt.Errorf("core: unknown experiment %q", id)

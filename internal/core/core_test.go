@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -308,7 +309,7 @@ func TestSplitTCPShape(t *testing.T) {
 
 func TestAvailabilityShape(t *testing.T) {
 	s := scenario(t, 13)
-	r, err := RouteDiversityStudy(s)
+	r, err := RouteDiversityStudy(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +410,7 @@ func TestOdinStudyShape(t *testing.T) {
 
 func TestSiteDensityShape(t *testing.T) {
 	s := scenario(t, 21)
-	r, err := SiteDensityStudy(s)
+	r, err := SiteDensityStudy(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +429,7 @@ func TestSiteDensityShape(t *testing.T) {
 
 func TestCorridorShape(t *testing.T) {
 	s := scenario(t, 23)
-	r, err := CorridorStudy(s)
+	r, err := CorridorStudy(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,7 +455,7 @@ func TestCorridorShape(t *testing.T) {
 
 func TestAblationECSShape(t *testing.T) {
 	s := scenario(t, 15)
-	r, err := AblationECS(s)
+	r, err := AblationECS(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,7 +477,7 @@ func TestAblationECSShape(t *testing.T) {
 
 func TestAblationPNIShape(t *testing.T) {
 	s := scenario(t, 16)
-	r, err := AblationPNI(s)
+	r, err := AblationPNI(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

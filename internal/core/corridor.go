@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"beatbgp/internal/stats"
 )
 
@@ -9,12 +11,15 @@ import (
 // carrying Standard-tier traffic west via the Suez route beat it. Lease
 // the missing Europe–Asia corridor and the comparison should flip — which
 // is what the provider in question eventually did.
-func CorridorStudy(s *Scenario) (Result, error) {
+// Each arm is a Provider-only Derive of the base scenario: the topology
+// stage is shared, and the no-corridor arm (when it matches the base
+// config) reuses the whole immutable world.
+func CorridorStudy(ctx context.Context, s *Scenario) (Result, error) {
 	countries := []string{"IN", "PK", "AE", "SA", "JP", "AU", "US", "DE"}
 	run := func(corridor bool) (map[string]float64, error) {
-		cfg := s.Cfg
-		cfg.Provider.EuropeAsiaCorridor = corridor
-		sub, err := NewScenario(cfg)
+		sub, err := s.DeriveContext(ctx, func(c *Config) {
+			c.Provider.EuropeAsiaCorridor = corridor
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,17 +15,18 @@ import (
 
 // PeeringReduction explores §3.1.3: what happens to latency and route
 // diversity as the provider drastically reduces its peering footprint?
-// Fresh worlds are built with a sweep of kept-peer fractions; everything
-// else (seeds, workload) is held fixed.
-func PeeringReduction(s *Scenario) (Result, error) {
+// Each kept-peer fraction is a Provider-only Derive of the base scenario
+// (the shared topology is built once); everything else (seeds, workload)
+// is held fixed.
+func PeeringReduction(ctx context.Context, s *Scenario) (Result, error) {
 	fractions := []float64{1.0, 0.7, 0.4, 0.1}
 	tb := stats.Table{Name: "peering reduction sweep", Columns: []string{
 		"median_pref_rtt_ms", "frac_prefixes_ge3_routes", "frac_traffic_transit_only", "peer_links"}}
 	for _, frac := range fractions {
-		cfg := s.Cfg
-		cfg.Provider.PeerKeepFraction = frac
-		cfg.Workload.Days = 2 // latency statistics settle quickly
-		sub, err := NewScenario(cfg)
+		sub, err := s.DeriveContext(ctx, func(c *Config) {
+			c.Provider.PeerKeepFraction = frac
+			c.Workload.Days = 2 // latency statistics settle quickly
+		})
 		if err != nil {
 			return Result{}, err
 		}
@@ -269,16 +271,24 @@ func SplitTCPStudy(s *Scenario) (Result, error) {
 // diversity as failover insurance, and the outsized fragility of small
 // peers whose capacity concentrates on a single interconnection.
 // (Scheduled fault injection lives in AnycastFaultAvailability/xavail.)
-func RouteDiversityStudy(s *Scenario) (Result, error) {
+func RouteDiversityStudy(ctx context.Context, s *Scenario) (Result, error) {
 	traces, err := s.efTraces()
 	if err != nil {
 		return Result{}, err
 	}
 	// Two failure processes over the same world: baseline, and one where
-	// PNI links fail 5x as often (fragile small peers).
-	simA := netsim.New(s.Topo, s.Cfg.Net)
-	fragileCfg := s.Cfg.Net
-	simB := netsim.New(s.Topo, fragileCfg)
+	// PNI links fail 5x as often (fragile small peers). Derive with no
+	// mutation shares the whole immutable world and yields only the fresh
+	// Sim each arm needs, leaving s.Sim untouched for other experiments.
+	twinA, err := s.DeriveContext(ctx, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	twinB, err := s.DeriveContext(ctx, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	simA, simB := twinA.Sim, twinB.Sim
 	for _, l := range s.Prov.PeerLinks(provider.ClassPNI) {
 		simB.ScaleLinkFailures(l, 5)
 	}

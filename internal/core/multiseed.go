@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"beatbgp/internal/stats"
@@ -10,7 +11,19 @@ import (
 // generated world) and aggregates every table cell into mean/min/max —
 // the robustness check that separates a finding from a lucky draw. Series
 // are not aggregated; rerun a single seed for plottable lines.
+//
+// Per-seed worlds are built with Scenario.Derive, so seed derivation
+// happens in exactly one place (Config.setDefaults): mutating Config.Seed
+// reseeds every stage whose seed the caller left zero, while stage seeds
+// the caller pinned explicitly are held fixed across seeds (and their
+// stages' artifacts are reused between runs).
 func RunSeeds(base Config, id string, seeds []uint64) (Result, error) {
+	return RunSeedsContext(context.Background(), base, id, seeds)
+}
+
+// RunSeedsContext is RunSeeds honoring context cancellation between (and
+// inside) the per-seed runs.
+func RunSeedsContext(ctx context.Context, base Config, id string, seeds []uint64) (Result, error) {
 	if len(seeds) == 0 {
 		return Result{}, fmt.Errorf("core: no seeds")
 	}
@@ -19,17 +32,20 @@ func RunSeeds(base Config, id string, seeds []uint64) (Result, error) {
 	}
 	vals := make(map[cellKey]*stats.Dist)
 	var proto Result
+	var cur *Scenario
 	for i, seed := range seeds {
-		cfg := base
-		cfg.Seed = seed
-		// Derived seeds must be recomputed per run.
-		cfg.Topology.Seed, cfg.Provider.Seed, cfg.CDN.Seed = 0, 0, 0
-		cfg.DNS.Seed, cfg.Net.Seed, cfg.Workload.Seed = 0, 0, 0
-		s, err := NewScenario(cfg)
+		var err error
+		if cur == nil {
+			cfg := base
+			cfg.Seed = seed
+			cur, err = NewScenarioContext(ctx, cfg)
+		} else {
+			cur, err = cur.DeriveContext(ctx, func(c *Config) { c.Seed = seed })
+		}
 		if err != nil {
 			return Result{}, fmt.Errorf("core: seed %d: %w", seed, err)
 		}
-		r, err := RunByID(s, id)
+		r, err := RunByIDContext(ctx, cur, id, 0)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: seed %d: %w", seed, err)
 		}

@@ -124,7 +124,7 @@ func runWithContext(ctx context.Context, s *Scenario, e Experiment, timeout time
 				ch <- outcome{err: fmt.Errorf("core: experiment %s panicked: %v", e.ID, p)}
 			}
 		}()
-		r, err := e.Run(s)
+		r, err := e.Run(ctx, s)
 		ch <- outcome{r: r, err: err}
 	}()
 	select {

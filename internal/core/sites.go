@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,8 +14,10 @@ import (
 // added, the chance of anycast picking a suboptimal one increases, but
 // the number of reasonably performing ones increases. How do those
 // factors relate?" The CDN is rebuilt at several site densities and the
-// anycast-vs-best-unicast distribution re-measured on each.
-func SiteDensityStudy(s *Scenario) (Result, error) {
+// anycast-vs-best-unicast distribution re-measured on each. Each density
+// is a CDN-only Derive of the base scenario, so the topology, provider
+// WAN, and DNS mapping are built once and shared across the sweep.
+func SiteDensityStudy(ctx context.Context, s *Scenario) (Result, error) {
 	baseSites := map[geo.Region]int{
 		geo.NorthAmerica: 10,
 		geo.Europe:       9,
@@ -28,17 +31,17 @@ func SiteDensityStudy(s *Scenario) (Result, error) {
 	tb := stats.Table{Name: "site density sweep",
 		Columns: []string{"sites", "median_anycast_ms", "median_gap_ms", "p95_gap_ms", "frac_miscaught"}}
 	for _, scale := range scales {
-		cfg := s.Cfg
-		cfg.CDN.SitesPerRegion = make(map[geo.Region]int, len(baseSites))
-		for r, n := range baseSites {
-			v := int(math.Round(float64(n) * scale))
-			if v < 1 {
-				v = 1
+		sub, err := s.DeriveContext(ctx, func(c *Config) {
+			c.CDN.SitesPerRegion = make(map[geo.Region]int, len(baseSites))
+			for r, n := range baseSites {
+				v := int(math.Round(float64(n) * scale))
+				if v < 1 {
+					v = 1
+				}
+				c.CDN.SitesPerRegion[r] = v
 			}
-			cfg.CDN.SitesPerRegion[r] = v
-		}
-		cfg.Workload.Days = 2
-		sub, err := NewScenario(cfg)
+			c.Workload.Days = 2
+		})
 		if err != nil {
 			return Result{}, err
 		}

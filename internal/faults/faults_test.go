@@ -49,9 +49,9 @@ func testTopo(t *testing.T) (*topology.Topo, map[string]int, map[string]int) {
 		}
 		return l.ID
 	}
-	conn("TRa", "TRb", topology.P2P, nil)     // multi-city
-	conn("EYE", "TRa", topology.C2P, nil)     // NewYork+London
-	conn("STUB", "TRb", topology.C2P, nil)    // NewYork only
+	conn("TRa", "TRb", topology.P2P, nil)  // multi-city
+	conn("EYE", "TRa", topology.C2P, nil)  // NewYork+London
+	conn("STUB", "TRb", topology.C2P, nil) // NewYork only
 	return topo, ids, cities
 }
 

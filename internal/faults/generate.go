@@ -20,16 +20,16 @@ type GenConfig struct {
 	CableCuts          int     // submarine/terrestrial segment cuts
 	CableRepairMeanMin float64 // mean time to splice (default 12h)
 
-	LinkResets        int     // peering-session resets
-	LinkResetMeanMin  float64 // mean session-down time (default 30)
-	ASOutages         int     // whole-AS outages
-	ASOutageMeanMin   float64 // mean outage length (default 60)
-	FacilityOutages   int     // metro facility outages
-	FacilityMeanMin   float64 // mean facility-dark time (default 90)
-	Storms            int     // metro congestion storms
-	StormMeanMin      float64 // mean storm length (default 120)
-	StormMagnitudeMs  float64 // extra latency during a storm (default 25)
-	StaleWindows      int     // LDNS-map staleness windows
+	LinkResets         int     // peering-session resets
+	LinkResetMeanMin   float64 // mean session-down time (default 30)
+	ASOutages          int     // whole-AS outages
+	ASOutageMeanMin    float64 // mean outage length (default 60)
+	FacilityOutages    int     // metro facility outages
+	FacilityMeanMin    float64 // mean facility-dark time (default 90)
+	Storms             int     // metro congestion storms
+	StormMeanMin       float64 // mean storm length (default 120)
+	StormMagnitudeMs   float64 // extra latency during a storm (default 25)
+	StaleWindows       int     // LDNS-map staleness windows
 	StaleWindowMeanMin float64 // mean staleness length (default 240)
 
 	// PlannedFraction of events are flagged Planned (maintenance known in

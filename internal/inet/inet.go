@@ -126,6 +126,13 @@ func NewAllocator(root Prefix) *Allocator {
 	return &Allocator{root: root}
 }
 
+// Clone returns an independent allocator with the same root and cursor:
+// subsequent Alloc calls on either side never affect the other.
+func (a *Allocator) Clone() *Allocator {
+	cp := *a
+	return &cp
+}
+
 // Alloc returns the next free block of the given length, or an error when
 // the root is exhausted. Blocks are never reused.
 func (a *Allocator) Alloc(bits int) (Prefix, error) {

@@ -41,6 +41,23 @@ func (t *Table[V]) Insert(p Prefix, v V) {
 	n.val, n.set = v, true
 }
 
+// Clone returns a deep copy of the table: inserts on either side never
+// affect the other. Values are copied by assignment.
+func (t *Table[V]) Clone() Table[V] {
+	return Table[V]{root: cloneNode(t.root), size: t.size}
+}
+
+func cloneNode[V any](n *node[V]) *node[V] {
+	if n == nil {
+		return nil
+	}
+	return &node[V]{
+		child: [2]*node[V]{cloneNode(n.child[0]), cloneNode(n.child[1])},
+		val:   n.val,
+		set:   n.set,
+	}
+}
+
 // Lookup returns the value of the longest installed prefix containing the
 // address.
 func (t *Table[V]) Lookup(addr uint32) (V, bool) {

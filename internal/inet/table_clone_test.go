@@ -1,0 +1,74 @@
+package inet
+
+import "testing"
+
+func TestTableClone(t *testing.T) {
+	var orig Table[int]
+	alloc := NewAllocator(MustParsePrefix("10.0.0.0/8"))
+	var ps []Prefix
+	for i := 0; i < 64; i++ {
+		p, err := alloc.Alloc(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig.Insert(p, i)
+		ps = append(ps, p)
+	}
+	cp := orig.Clone()
+	if cp.Len() != orig.Len() {
+		t.Fatalf("clone size %d, want %d", cp.Len(), orig.Len())
+	}
+	for i, p := range ps {
+		if v, ok := cp.LookupPrefix(p); !ok || v != i {
+			t.Fatalf("clone lost %v: got %d,%v", p, v, ok)
+		}
+	}
+	// Inserts and deletes on either side must not leak to the other.
+	extra, err := alloc.Alloc(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Insert(extra, 999)
+	if _, ok := orig.LookupPrefix(extra); ok {
+		t.Fatal("insert on clone visible in original")
+	}
+	orig.Delete(ps[0])
+	if _, ok := cp.LookupPrefix(ps[0]); !ok {
+		t.Fatal("delete on original visible in clone")
+	}
+}
+
+func TestAllocatorClone(t *testing.T) {
+	a := NewAllocator(MustParsePrefix("10.0.0.0/8"))
+	if _, err := a.Alloc(20); err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	pa, err := a.Alloc(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Alloc(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Fatalf("clone diverged immediately: %v vs %v", pa, pb)
+	}
+	// Advancing one side must not move the other's cursor: after the
+	// original allocates two more blocks, the clone's next block is still
+	// the one directly after its own last.
+	if _, err := a.Alloc(20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(20); err != nil {
+		t.Fatal(err)
+	}
+	pb2, err := b.Alloc(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (Prefix{Addr: pb.Addr + 1<<12, Bits: 20}); pb2 != want {
+		t.Fatalf("clone cursor moved with original: got %v, want %v", pb2, want)
+	}
+}

@@ -191,6 +191,36 @@ func (t *Topo) PrefixByAddr(addr uint32) (Prefix, bool) {
 // NumASes returns the number of ASes.
 func (t *Topo) NumASes() int { return len(t.ASes) }
 
+// Clone returns a structurally independent snapshot of the topology:
+// AddAS, Connect, and AddPrefix on the clone never mutate the original
+// (and vice versa), and the two evolve identically given identical calls,
+// so "clone then extend" is byte-equivalent to "extend in place". The
+// immutable substructures — the city catalog, the physical cable graph,
+// and each AS's backbone cable.Network (whose distance memo is
+// concurrency-safe) — are shared by pointer, which keeps a clone cheap:
+// the cost is one AS-table copy plus the prefix FIB.
+func (t *Topo) Clone() *Topo {
+	nt := &Topo{
+		Catalog:  t.Catalog,
+		Graph:    t.Graph,
+		ASes:     make([]*AS, len(t.ASes)),
+		Links:    append([]Link(nil), t.Links...),
+		Prefixes: append([]Prefix(nil), t.Prefixes...),
+		fib:      t.fib.Clone(),
+	}
+	for i, a := range t.ASes {
+		cp := *a
+		// Cities slices are never mutated after AddAS; the incident-link
+		// list grows on Connect and must not alias the original's.
+		cp.links = append([]int(nil), a.links...)
+		nt.ASes[i] = &cp
+	}
+	if t.alloc != nil {
+		nt.alloc = t.alloc.Clone()
+	}
+	return nt
+}
+
 // AddAS appends a new AS with the given footprint, building its backbone
 // network over the physical graph (leasing segments if the footprint
 // subgraph is disconnected). It returns the new AS.
