@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-par fuzz fuzz-par stress-par bench bench-json clean
+.PHONY: all build vet fmt-check test race race-par fuzz fuzz-par stress-par stress-harness verify bench bench-json clean
 
 all: vet fmt-check build test
 
@@ -46,6 +46,16 @@ fuzz-par:
 STRESSCOUNT ?= 5
 stress-par:
 	$(GO) test -race -run 'TestStressRandomWorkersVsSerialOracle' -count=$(STRESSCOUNT) ./internal/par/
+
+# Crash-safety stress: SIGKILL a live campaign the moment its first
+# checkpoint lands, resume it, and assert the resumed stdout is
+# byte-identical to an uninterrupted run (zero re-runs per the manifest).
+stress-harness:
+	STRESS_HARNESS=1 $(GO) test -run 'TestStressKillResume' -v -timeout 10m ./cmd/beatbgp/
+
+# The full pre-merge gate: formatting, static checks, build, the whole
+# test suite, and the race-focused parallel pass, in fail-fast order.
+verify: fmt-check vet build test race-par
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -35,6 +35,7 @@ import (
 	"beatbgp/internal/core"
 	"beatbgp/internal/dnsmap"
 	"beatbgp/internal/faults"
+	"beatbgp/internal/harness"
 	"beatbgp/internal/netsim"
 	"beatbgp/internal/provider"
 	"beatbgp/internal/stats"
@@ -125,6 +126,70 @@ func NewFaultTimeline(s *Scenario, events []FaultEvent) (*FaultTimeline, error) 
 func GenerateFaults(s *Scenario, cfg FaultGenConfig) (*FaultTimeline, error) {
 	return faults.Generate(s.Topo, cfg)
 }
+
+// Supervisor types: the crash-safe campaign runner (internal/harness)
+// that cmd/beatbgp and long-running embedders drive. A campaign is a
+// grid of (experiment, seed) cells run with panic isolation, typed
+// failure taxonomy, deterministic retry backoff, watchdog warnings,
+// checkpoint/resume keyed by build-graph content, and graceful drain.
+type (
+	// Campaign is the work grid: experiments × seeds over a base config.
+	Campaign = harness.Campaign
+	// SupervisorConfig tunes retries, deadlines, checkpointing and drain.
+	SupervisorConfig = harness.Config
+	// SupervisorEvent is one operator notification from a running campaign.
+	SupervisorEvent = harness.Event
+	// CampaignReport is a finished campaign's per-cell accounting.
+	CampaignReport = harness.Report
+	// Manifest is the machine-readable run summary persisted to the run dir.
+	Manifest = harness.Manifest
+	// Outcome records how one cell ended.
+	Outcome = harness.Outcome
+	// CellRef names one (experiment, seed) cell and its content key.
+	CellRef = harness.CellRef
+	// CellStatus is a cell's final disposition (ok, resumed, failed, ...).
+	CellStatus = harness.Status
+	// FailureKind files a failed cell under the supervisor's taxonomy.
+	FailureKind = harness.Kind
+)
+
+// Supervisor event kinds.
+const (
+	EventWorld         = harness.EventWorld
+	EventSlow          = harness.EventSlow
+	EventRetry         = harness.EventRetry
+	EventCheckpoint    = harness.EventCheckpoint
+	EventResumed       = harness.EventResumed
+	EventBadCheckpoint = harness.EventBadCheckpoint
+)
+
+// ManifestName is the manifest's filename inside a run directory.
+const ManifestName = harness.ManifestName
+
+// Supervisor error taxonomy: failed cells match these under errors.Is,
+// and ErrPartial marks a campaign that ended with incomplete cells (the
+// exit-code-2 condition in cmd/beatbgp).
+var (
+	ErrPanic       = harness.ErrPanic
+	ErrTimeout     = harness.ErrTimeout
+	ErrCancelled   = harness.ErrCancelled
+	ErrBuildFailed = harness.ErrBuildFailed
+	ErrPartial     = harness.ErrPartial
+)
+
+// RunCampaign executes a supervised campaign: every (experiment, seed)
+// cell isolated, retried, checkpointed and drained per cfg. A resumed
+// campaign's CampaignReport.FinalResults render byte-identically to an
+// uninterrupted one's.
+func RunCampaign(ctx context.Context, camp Campaign, cfg SupervisorConfig) (*CampaignReport, error) {
+	return harness.Run(ctx, camp, cfg)
+}
+
+// WorldKey is the content key of the world cfg builds: the chained hash
+// over every build-graph stage input. Two configs with equal keys build
+// byte-identical worlds (worker count and other non-semantic knobs are
+// excluded). It is the key checkpoints are filed under.
+func WorldKey(cfg Config) (string, error) { return core.WorldKey(cfg) }
 
 // Egress route classes, in decreasing BGP-policy preference.
 const (

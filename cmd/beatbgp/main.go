@@ -1,33 +1,63 @@
-// Command beatbgp runs the paper's experiments against a freshly built
-// scenario and prints the regenerated figure/table data.
+// Command beatbgp runs the paper's experiments under the crash-safe
+// supervisor and prints the regenerated figure/table data.
 //
 // Usage:
 //
-//	beatbgp [-seed N] [-exp id[,id...]] [-list] [-days N] [-eyeballs N] [-timeout D] [-workers N]
+//	beatbgp [-seed N] [-exp id[,id...]] [-list] [-days N] [-eyeballs N]
+//	        [-seeds N] [-timeout D] [-watchdog D] [-retries N] [-workers N]
+//	        [-run-dir DIR] [-resume DIR]
 //
 // With no -exp, every registered experiment runs in the paper's order.
-// Experiments execute concurrently on the shared scenario (bounded by
-// -workers, default GOMAXPROCS) and print in registry order; output is
-// byte-identical at any worker count. Unknown experiment IDs and
-// nonsensical flag values are rejected up front, before any scenario is
-// built, with a non-zero exit.
+// Every run is a supervised campaign over (experiment, seed) cells:
+// panics inside an experiment are isolated (siblings keep running),
+// transient failures retry up to -retries times, -watchdog warns about
+// slow cells, and with -run-dir every completed cell is checkpointed so
+// -resume can finish an interrupted campaign without re-running done
+// work. SIGINT/SIGTERM drains gracefully: in-flight experiments get a
+// short grace period to finish (and checkpoint), then partial results
+// print with an INCOMPLETE banner.
+//
+// Result data goes to stdout and is byte-identical at any worker count —
+// a resumed campaign renders exactly what an uninterrupted one would.
+// Status and timing lines go to stderr. Exit code 0 means every cell
+// completed, 2 means a partial run (see the manifest in the run
+// directory), and 1 means a hard failure.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"syscall"
 	"time"
 
 	"beatbgp"
 )
 
+// drainGrace is how long in-flight experiments may keep running after a
+// drain signal, so nearly-done work still lands in the checkpoint dir.
+const drainGrace = 3 * time.Second
+
 func main() {
+	err := run()
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "beatbgp: %v\n", err)
+	if errors.Is(err, beatbgp.ErrPartial) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+func run() error {
 	var (
 		seed     = flag.Uint64("seed", 42, "scenario seed; all results are deterministic in it")
 		exp      = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
@@ -38,7 +68,11 @@ func main() {
 		outDir   = flag.String("out", "", "also write <id>.json and per-series/table CSVs into this directory")
 		plot     = flag.Bool("plot", false, "render each series as an ASCII chart")
 		seeds    = flag.Int("seeds", 0, "run each experiment across N seeds (fresh worlds) and report mean/min/max per table cell")
-		timeout  = flag.Duration("timeout", 0, "per-experiment deadline (e.g. 2m); 0 means none")
+		timeout  = flag.Duration("timeout", 0, "per-attempt experiment deadline (e.g. 2m); 0 means none")
+		watchdog = flag.Duration("watchdog", 0, "warn on stderr when an experiment outlives this; it keeps running")
+		retries  = flag.Int("retries", 0, "extra attempts granted to transiently failing cells (timeouts)")
+		runDir   = flag.String("run-dir", "", "checkpoint directory: completed cells and the run manifest are persisted here")
+		resume   = flag.String("resume", "", "resume an interrupted campaign from this run directory (implies -run-dir)")
 		workers  = flag.Int("workers", 0, "parallel worker budget for sweeps and the experiment runner; 0 means GOMAXPROCS")
 		bstats   = flag.Bool("buildstats", false, "print the scenario build report (per-stage wall time, rebuilt vs reused)")
 	)
@@ -48,50 +82,50 @@ func main() {
 		for _, e := range beatbgp.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
-	}
-
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "beatbgp: "+format+"\n", args...)
-		os.Exit(1)
+		return nil
 	}
 
 	// Validate everything before the expensive scenario build so a typo
 	// cannot produce minutes of partial output followed by a late error.
 	if flag.NArg() > 0 {
-		fail("unexpected arguments %q (flags only)", flag.Args())
+		return fmt.Errorf("unexpected arguments %q (flags only)", flag.Args())
 	}
-	if *days < 0 || *eyeballs < 0 || *seeds < 0 || *workers < 0 {
-		fail("-days, -eyeballs, -seeds and -workers must be non-negative")
+	if *days < 0 || *eyeballs < 0 || *seeds < 0 || *workers < 0 || *retries < 0 {
+		return fmt.Errorf("-days, -eyeballs, -seeds, -workers and -retries must be non-negative")
 	}
-	if *timeout < 0 {
-		fail("-timeout must be non-negative")
+	if *timeout < 0 || *watchdog < 0 {
+		return fmt.Errorf("-timeout and -watchdog must be non-negative")
 	}
-	if *seeds > 1 && *timeout > 0 {
-		fail("-timeout is per single-scenario experiment; it does not apply under -seeds")
+	if *resume != "" {
+		if *runDir != "" && *runDir != *resume {
+			return fmt.Errorf("-resume %q conflicts with -run-dir %q", *resume, *runDir)
+		}
+		*runDir = *resume
 	}
 	known := map[string]bool{}
 	for _, e := range beatbgp.Experiments() {
 		known[e.ID] = true
 	}
 	var ids []string
-	if *exp == "" {
-		for _, e := range beatbgp.Experiments() {
-			ids = append(ids, e.ID)
-		}
-	} else {
+	if *exp != "" {
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(id)
 			if id == "" {
 				continue
 			}
 			if !known[id] {
-				fail("unknown experiment %q (see -list)", id)
+				return fmt.Errorf("unknown experiment %q (see -list)", id)
 			}
 			ids = append(ids, id)
 		}
 		if len(ids) == 0 {
-			fail("-exp named no experiments")
+			return fmt.Errorf("-exp named no experiments")
+		}
+	}
+	var seedList []uint64
+	if *seeds > 1 {
+		for i := 0; i < *seeds; i++ {
+			seedList = append(seedList, *seed+uint64(i))
 		}
 	}
 
@@ -103,50 +137,59 @@ func main() {
 		cfg.Topology.EyeballsPerRegion = *eyeballs
 	}
 
-	start := time.Now()
-	s, err := beatbgp.NewScenario(cfg)
-	if err != nil {
-		fail("%v", err)
-	}
-	fmt.Printf("# scenario seed=%d built in %v: %d ASes, %d links, %d prefixes\n",
-		*seed, time.Since(start).Round(time.Millisecond),
-		s.Topo.NumASes(), len(s.Topo.Links), len(s.Topo.Prefixes))
-	if *bstats {
-		fmt.Print(s.BuildReport().Render())
-	}
+	// Drain on SIGINT/SIGTERM: cancel the campaign context, give in-flight
+	// experiments drainGrace to finish, and still render partial results
+	// plus the manifest. A second signal force-quits.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "beatbgp: %v: draining (in-flight experiments get %v; repeat to force-quit)\n", s, drainGrace)
+		cancel()
+		<-sig
+		os.Exit(130)
+	}()
 
-	// Single-scenario runs go through the parallel runner: experiments
-	// execute concurrently on the shared world, results come back (and
-	// print) in the requested order, byte-identical at any worker count.
-	// Multi-seed runs build a fresh world per seed and stay per-ID.
-	var results []beatbgp.Result
+	// Supervisor notifications are operator feedback: stderr, so stdout
+	// stays a pure, byte-comparable result stream.
+	events := make(chan beatbgp.SupervisorEvent, 256)
+	eventsDone := make(chan struct{})
+	go func() {
+		defer close(eventsDone)
+		for ev := range events {
+			printEvent(ev, *bstats)
+		}
+	}()
+
 	t0 := time.Now()
-	if *seeds > 1 {
-		for _, id := range ids {
-			seedList := make([]uint64, *seeds)
-			for i := range seedList {
-				seedList[i] = *seed + uint64(i)
-			}
-			r, err := beatbgp.RunSeeds(cfg, id, seedList)
-			if err != nil {
-				fail("%s: %v", id, err)
-			}
-			results = append(results, r)
-		}
-	} else {
-		var err error
-		results, err = beatbgp.RunManyParallel(context.Background(), s, ids, *timeout)
-		if err != nil {
-			// Render the completed prefix before failing so partial output
-			// still lands in order.
-			for _, r := range results {
-				fmt.Printf("\n# %s\n%s", r.ID, r.Render())
-			}
-			fail("%s: %v", ids[len(results)], err)
-		}
+	rep, err := beatbgp.RunCampaign(ctx,
+		beatbgp.Campaign{Base: cfg, IDs: ids, Seeds: seedList},
+		beatbgp.SupervisorConfig{
+			RunDir:      *runDir,
+			Resume:      *resume != "",
+			Retries:     *retries,
+			BackoffSeed: *seed,
+			Timeout:     *timeout,
+			Watchdog:    *watchdog,
+			Grace:       drainGrace,
+			Events:      events,
+		})
+	close(events) // RunCampaign has returned; no sender remains
+	<-eventsDone
+	if err != nil {
+		return err
 	}
-	fmt.Printf("# %d experiment(s) completed in %v\n", len(results), time.Since(t0).Round(time.Millisecond))
 
+	results, err := rep.FinalResults()
+	if err != nil {
+		return err
+	}
 	for _, r := range results {
 		fmt.Printf("\n# %s\n", r.ID)
 		switch {
@@ -154,7 +197,7 @@ func main() {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(r); err != nil {
-				fail("%s: %v", r.ID, err)
+				return fmt.Errorf("%s: %v", r.ID, err)
 			}
 		default:
 			fmt.Print(r.Render())
@@ -166,9 +209,41 @@ func main() {
 		}
 		if *outDir != "" {
 			if err := writeResult(*outDir, r); err != nil {
-				fail("%s: %v", r.ID, err)
+				return fmt.Errorf("%s: %v", r.ID, err)
 			}
 		}
+	}
+
+	done := len(rep.Outcomes) - len(rep.IncompleteCells())
+	fmt.Fprintf(os.Stderr, "# %d/%d cells completed in %v\n",
+		done, len(rep.Outcomes), time.Since(t0).Round(time.Millisecond))
+	if !rep.Complete() {
+		fmt.Fprint(os.Stderr, rep.Banner())
+		return fmt.Errorf("%w: %d of %d cells incomplete", beatbgp.ErrPartial,
+			len(rep.IncompleteCells()), len(rep.Outcomes))
+	}
+	return nil
+}
+
+func printEvent(ev beatbgp.SupervisorEvent, bstats bool) {
+	switch ev.Kind {
+	case beatbgp.EventWorld:
+		fmt.Fprintf(os.Stderr, "# world seed=%d built in %v\n", ev.Seed, ev.Wall.Round(time.Millisecond))
+		if bstats && ev.Detail != "" {
+			fmt.Fprint(os.Stderr, ev.Detail)
+		}
+	case beatbgp.EventSlow:
+		fmt.Fprintf(os.Stderr, "# slow: %s still running after %v (attempt %d)\n",
+			ev.Cell, ev.Wall.Round(time.Second), ev.Attempt)
+	case beatbgp.EventRetry:
+		fmt.Fprintf(os.Stderr, "# retry: %s attempt %d failed (%s); retrying in %v\n",
+			ev.Cell, ev.Attempt, ev.Err, ev.Wall.Round(time.Millisecond))
+	case beatbgp.EventCheckpoint:
+		fmt.Fprintf(os.Stderr, "# checkpoint: %s\n", ev.Cell)
+	case beatbgp.EventResumed:
+		fmt.Fprintf(os.Stderr, "# resumed: %s (skipping re-run)\n", ev.Cell)
+	case beatbgp.EventBadCheckpoint:
+		fmt.Fprintf(os.Stderr, "# warning: unusable checkpoint for %s (%s); re-running\n", ev.Cell, ev.Err)
 	}
 }
 

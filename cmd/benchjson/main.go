@@ -7,8 +7,11 @@
 //
 // Every "BenchmarkName-P  N  X ns/op  [Y B/op  Z allocs/op]" line becomes
 // one record tagged with the package from the preceding "pkg:" line.
-// Non-benchmark output (experiment tables, PASS/ok lines) is ignored, so
-// the tool can eat the full test stream.
+// Non-benchmark output (experiment tables, PASS/ok lines) is ignored, and
+// benchmark lines with missing or unparsable metrics are kept with the
+// metrics that did parse — a partially garbled stream (an interrupted
+// run, a benchmark that reports only custom units) degrades to fewer
+// fields, not a dead tool.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -41,11 +45,17 @@ type Document struct {
 	Benchmarks []Record `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+var (
+	benchHead  = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\b(.*)`)
+	metricPair = regexp.MustCompile(`(\S+)\s+(ns/op|B/op|allocs/op)`)
+)
 
-func parse(sc *bufio.Scanner) (Document, error) {
+// parse eats the full test stream. It returns the document plus the
+// number of benchmark-shaped lines it had to skip entirely (unparsable
+// iteration count); individual bad metrics are dropped, not fatal.
+func parse(sc *bufio.Scanner) (Document, int, error) {
 	var doc Document
-	pkg := ""
+	pkg, skipped := "", 0
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -58,30 +68,35 @@ func parse(sc *bufio.Scanner) (Document, error) {
 		case strings.HasPrefix(line, "pkg:"):
 			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 		default:
-			m := benchLine.FindStringSubmatch(line)
+			m := benchHead.FindStringSubmatch(line)
 			if m == nil {
 				continue
 			}
 			iters, err := strconv.ParseInt(m[2], 10, 64)
 			if err != nil {
-				return doc, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+				skipped++
+				continue
 			}
-			ns, err := strconv.ParseFloat(m[3], 64)
-			if err != nil {
-				return doc, fmt.Errorf("benchjson: bad ns/op in %q: %w", line, err)
-			}
-			rec := Record{Package: pkg, Name: m[1], Iterations: iters, NsPerOp: ns}
-			if m[4] != "" {
-				rec.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-			}
-			if m[5] != "" {
-				rec.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			rec := Record{Package: pkg, Name: m[1], Iterations: iters}
+			for _, pm := range metricPair.FindAllStringSubmatch(m[3], -1) {
+				v, err := strconv.ParseFloat(pm[1], 64)
+				if err != nil {
+					continue // tolerate one garbled metric, keep the rest
+				}
+				switch pm[2] {
+				case "ns/op":
+					rec.NsPerOp = v
+				case "B/op":
+					rec.BytesPerOp = v
+				case "allocs/op":
+					rec.AllocsPerOp = v
+				}
 			}
 			doc.Benchmarks = append(doc.Benchmarks, rec)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return doc, err
+		return doc, skipped, err
 	}
 	sort.Slice(doc.Benchmarks, func(i, j int) bool {
 		if doc.Benchmarks[i].Package != doc.Benchmarks[j].Package {
@@ -89,37 +104,44 @@ func parse(sc *bufio.Scanner) (Document, error) {
 		}
 		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
 	})
-	return doc, nil
+	return doc, skipped, nil
 }
 
 func main() {
+	if err := run(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader) error {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	doc, err := parse(sc)
+	doc, skipped, err := parse(sc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: skipped %d unparsable benchmark line(s)\n", skipped)
 	}
 	if len(doc.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
-		os.Exit(1)
+		return fmt.Errorf("no benchmark lines found on stdin")
 	}
 	js, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	js = append(js, '\n')
 	if *out == "" {
 		os.Stdout.Write(js)
-		return
+		return nil
 	}
 	if err := os.WriteFile(*out, js, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s\n", len(doc.Benchmarks), *out)
+	return nil
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func parseString(t *testing.T, s string) ([]Record, int) {
+	t.Helper()
+	doc, skipped, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.Benchmarks, skipped
+}
+
+func TestParseFullLine(t *testing.T) {
+	recs, skipped := parseString(t, strings.Join([]string{
+		"pkg: beatbgp/internal/core",
+		"BenchmarkBuild-8   	     100	  11215634 ns/op	  524288 B/op	    1024 allocs/op",
+	}, "\n"))
+	if skipped != 0 || len(recs) != 1 {
+		t.Fatalf("got %d records, %d skipped", len(recs), skipped)
+	}
+	r := recs[0]
+	if r.Package != "beatbgp/internal/core" || r.Name != "BenchmarkBuild-8" ||
+		r.Iterations != 100 || r.NsPerOp != 11215634 || r.BytesPerOp != 524288 || r.AllocsPerOp != 1024 {
+		t.Fatalf("bad record: %+v", r)
+	}
+}
+
+// Benchmark lines without the optional metrics — or with none at all —
+// must still produce records with whatever parsed.
+func TestParseMissingMetrics(t *testing.T) {
+	recs, skipped := parseString(t, strings.Join([]string{
+		"BenchmarkNoMem-4    200    5000 ns/op",
+		"BenchmarkAllocsOnly-4    300    7000 ns/op    12 allocs/op",
+		"BenchmarkBare-4    400",
+	}, "\n"))
+	if skipped != 0 || len(recs) != 3 {
+		t.Fatalf("got %d records, %d skipped, want 3/0", len(recs), skipped)
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkNoMem-4"]; r.NsPerOp != 5000 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("no-mem record: %+v", r)
+	}
+	if r := byName["BenchmarkAllocsOnly-4"]; r.NsPerOp != 7000 || r.AllocsPerOp != 12 || r.BytesPerOp != 0 {
+		t.Errorf("allocs-only record: %+v", r)
+	}
+	if r := byName["BenchmarkBare-4"]; r.Iterations != 400 || r.NsPerOp != 0 {
+		t.Errorf("bare record: %+v", r)
+	}
+}
+
+// A garbled metric value drops that metric; a garbled iteration count
+// drops the line (counted) — neither kills the parse.
+func TestParseGarbledTolerance(t *testing.T) {
+	recs, skipped := parseString(t, strings.Join([]string{
+		"BenchmarkHalfGood-2    100    NaNbad ns/op    64 B/op",
+		"BenchmarkDead 99999999999999999999 10 ns/op",
+		"BenchmarkFine-2    50    123 ns/op",
+	}, "\n"))
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (overflowed iteration count)", skipped)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkHalfGood-2"]; r.NsPerOp != 0 || r.BytesPerOp != 64 {
+		t.Errorf("half-good record kept the garbled metric or lost the good one: %+v", r)
+	}
+	if _, ok := byName["BenchmarkFine-2"]; !ok {
+		t.Error("clean line after a garbled one was lost")
+	}
+}

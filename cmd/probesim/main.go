@@ -17,6 +17,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "probesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		seed  = flag.Uint64("seed", 42, "scenario seed")
 		n     = flag.Int("n", 12, "vantage points to probe")
@@ -27,32 +34,26 @@ func main() {
 
 	// Reject bad flags before the expensive scenario build.
 	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "probesim: unexpected arguments %q (flags only)\n", flag.Args())
-		os.Exit(1)
+		return fmt.Errorf("unexpected arguments %q (flags only)", flag.Args())
 	}
 	if *n <= 0 {
-		fmt.Fprintln(os.Stderr, "probesim: -n must be positive")
-		os.Exit(1)
+		return fmt.Errorf("-n must be positive")
 	}
 	if *day < 0 {
-		fmt.Fprintln(os.Stderr, "probesim: -day must be non-negative")
-		os.Exit(1)
+		return fmt.Errorf("-day must be non-negative")
 	}
 
 	s, err := beatbgp.NewScenario(beatbgp.Config{Seed: *seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "probesim:", err)
-		os.Exit(1)
+		return err
 	}
 	premRIB, err := bgp.Compute(s.Topo, []bgp.Announcement{s.Prov.PremiumAnnouncement()})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "probesim:", err)
-		os.Exit(1)
+		return err
 	}
 	stdRIB, err := bgp.Compute(s.Topo, []bgp.Announcement{s.Prov.StandardAnnouncement()})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "probesim:", err)
-		os.Exit(1)
+		return err
 	}
 	platform := measure.New(s.Topo, s.Sim, measure.Config{Seed: *seed})
 	target := func(name string, rib *bgp.RIB) measure.Target {
@@ -116,4 +117,5 @@ func main() {
 		probed++
 	}
 	fmt.Printf("\ncredits used: %d\n", platform.CreditsUsed())
+	return nil
 }

@@ -17,6 +17,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		seed     = flag.Uint64("seed", 42, "generation seed")
 		eyeballs = flag.Int("eyeballs", 0, "eyeball ASes per region (default 20)")
@@ -26,12 +33,10 @@ func main() {
 
 	// Reject bad flags before the expensive scenario build.
 	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "topogen: unexpected arguments %q (flags only)\n", flag.Args())
-		os.Exit(1)
+		return fmt.Errorf("unexpected arguments %q (flags only)", flag.Args())
 	}
 	if *eyeballs < 0 {
-		fmt.Fprintln(os.Stderr, "topogen: -eyeballs must be non-negative")
-		os.Exit(1)
+		return fmt.Errorf("-eyeballs must be non-negative")
 	}
 
 	cfg := beatbgp.Config{Seed: *seed}
@@ -40,8 +45,7 @@ func main() {
 	}
 	s, err := beatbgp.NewScenario(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "topogen:", err)
-		os.Exit(1)
+		return err
 	}
 	t := s.Topo
 
@@ -94,8 +98,7 @@ func main() {
 			}
 			rib, err := oracle.ToPrefix(p)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "topogen:", err)
-				os.Exit(1)
+				return err
 			}
 			for as := 0; as < t.NumASes(); as++ {
 				if r := rib.Best(as); r.Valid {
@@ -113,4 +116,5 @@ func main() {
 			fmt.Printf("  len %d: %d routes\n", k, lens[k])
 		}
 	}
+	return nil
 }

@@ -80,6 +80,29 @@ func computeKeys(cfg Config) buildKeys {
 	return k
 }
 
+// WorldKey returns the content key of the fully built world for cfg: the
+// chained hash of every stage key after seed derivation and validation.
+// Two configs with equal WorldKeys build byte-identical worlds, so the
+// key is the cache-invalidation handle for anything persisted about a
+// scenario (internal/harness keys experiment checkpoints on it: a config
+// change invalidates exactly the cells whose world it changes).
+// Config.Workers is deliberately excluded — the worker budget never
+// changes what is computed. Invalid configs return the validation error.
+func WorldKey(cfg Config) (string, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	k := computeKeys(cfg)
+	return stageKey("world", k.topo, k.prov, k.cdn, k.dns, k.oracle, k.res, k.sim, k.gen), nil
+}
+
+// CellKey chains a WorldKey with an experiment ID into the content key of
+// one (world, experiment) cell — the unit internal/harness checkpoints.
+func CellKey(worldKey, experimentID string) string {
+	return stageKey("cell", worldKey, experimentID)
+}
+
 // stageKey hashes a stage name plus its inputs (sub-configs and upstream
 // keys) into a short content key.
 func stageKey(stage string, inputs ...any) string {

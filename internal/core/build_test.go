@@ -21,6 +21,44 @@ var deriveMutations = []struct {
 	{"reseed", "t32", func(c *Config) { c.Seed = 99 }},
 }
 
+// TestWorldKey pins the checkpoint-keying contract: the key is a stable
+// pure function of the normalized config, changes with anything that
+// changes the built world (a stage knob, the seed), and ignores the
+// operational knobs (Workers) that cannot change what is computed.
+func TestWorldKey(t *testing.T) {
+	base := smallConfig(42)
+	k1, err := WorldKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := WorldKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == "" || k1 != k2 {
+		t.Fatalf("key not stable: %q vs %q", k1, k2)
+	}
+	workers := base
+	workers.Workers = 8
+	if kw, _ := WorldKey(workers); kw != k1 {
+		t.Fatalf("worker budget changed the world key: %q vs %q", kw, k1)
+	}
+	for _, m := range deriveMutations {
+		mut := smallConfig(42)
+		m.mutate(&mut)
+		if km, err := WorldKey(mut); err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		} else if km == k1 {
+			t.Errorf("%s: mutation did not change the world key", m.name)
+		}
+	}
+	bad := base
+	bad.Workload.Days = -1
+	if _, err := WorldKey(bad); err == nil {
+		t.Fatal("invalid config produced a key")
+	}
+}
+
 // TestDeriveEquivalence is the build graph's determinism contract: for
 // every stage-targeted mutation, Derive must produce byte-identical
 // experiment output to a fresh NewScenario on the same mutated config.

@@ -27,13 +27,9 @@ func RunSeedsContext(ctx context.Context, base Config, id string, seeds []uint64
 	if len(seeds) == 0 {
 		return Result{}, fmt.Errorf("core: no seeds")
 	}
-	type cellKey struct {
-		table, row, col string
-	}
-	vals := make(map[cellKey]*stats.Dist)
-	var proto Result
+	perSeed := make([]Result, 0, len(seeds))
 	var cur *Scenario
-	for i, seed := range seeds {
+	for _, seed := range seeds {
 		var err error
 		if cur == nil {
 			cfg := base
@@ -49,9 +45,28 @@ func RunSeedsContext(ctx context.Context, base Config, id string, seeds []uint64
 		if err != nil {
 			return Result{}, fmt.Errorf("core: seed %d: %w", seed, err)
 		}
-		if i == 0 {
-			proto = r
-		}
+		perSeed = append(perSeed, r)
+	}
+	return AggregateSeeds(id, seeds, perSeed)
+}
+
+// AggregateSeeds folds one experiment's per-seed Results into the
+// mean/min/max summary RunSeeds reports. perSeed[i] must be the result
+// for seeds[i]; cells are accumulated in seed order, so the output is
+// byte-identical whether the per-seed results were just computed or
+// replayed from a checkpoint (internal/harness resumes rely on this).
+func AggregateSeeds(id string, seeds []uint64, perSeed []Result) (Result, error) {
+	if len(seeds) == 0 {
+		return Result{}, fmt.Errorf("core: no seeds")
+	}
+	if len(perSeed) != len(seeds) {
+		return Result{}, fmt.Errorf("core: %d results for %d seeds", len(perSeed), len(seeds))
+	}
+	type cellKey struct {
+		table, row, col string
+	}
+	vals := make(map[cellKey]*stats.Dist)
+	for _, r := range perSeed {
 		for _, tb := range r.Tables {
 			for _, row := range tb.Rows {
 				for ci, col := range tb.Columns {
@@ -64,6 +79,7 @@ func RunSeedsContext(ctx context.Context, base Config, id string, seeds []uint64
 			}
 		}
 	}
+	proto := perSeed[0]
 	out := Result{
 		ID:    id + "@seeds",
 		Title: fmt.Sprintf("%s across %d seeds", proto.Title, len(seeds)),

@@ -2,9 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
+
+	"beatbgp/internal/par"
 )
 
 // RunByIDContext runs one experiment by registry ID, honoring context
@@ -51,6 +55,13 @@ func RunAllContext(ctx context.Context, s *Scenario, timeout time.Duration) ([]R
 // discarded so callers cannot see a gap. Unlike RunAllContext, siblings
 // are not cancelled when one experiment fails — induced cancellations at
 // lower indices would otherwise mask the real error nondeterministically.
+//
+// When the CALLER's context is cancelled mid-run (a drain, a deadline),
+// siblings fail with bare cancellation errors, and the lowest-index one
+// may belong to an innocent experiment. If some experiment had already
+// failed for a real (non-cancellation) reason, the returned cancellation
+// error is annotated with that first failure, so the root cause is never
+// masked by the induced cancellations around it.
 func RunManyParallelContext(ctx context.Context, s *Scenario, ids []string, timeout time.Duration) ([]Result, error) {
 	byID := make(map[string]Experiment)
 	for _, e := range Experiments() {
@@ -64,6 +75,13 @@ func RunManyParallelContext(ctx context.Context, s *Scenario, ids []string, time
 		}
 		exps[i] = e
 	}
+	return runManyParallel(ctx, s, exps, timeout)
+}
+
+// runManyParallel is the engine behind RunManyParallelContext, operating
+// on resolved Experiment values so tests can exercise the error contract
+// with synthetic experiments.
+func runManyParallel(ctx context.Context, s *Scenario, exps []Experiment, timeout time.Duration) ([]Result, error) {
 	type outcome struct {
 		r   Result
 		err error
@@ -71,6 +89,11 @@ func RunManyParallelContext(ctx context.Context, s *Scenario, ids []string, time
 	outs := make([]outcome, len(exps))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, s.workers())
+	var (
+		rootMu  sync.Mutex
+		rootID  string // wall-clock-first experiment to fail for a real reason
+		rootErr error
+	)
 	for i, e := range exps {
 		wg.Add(1)
 		go func(i int, e Experiment) {
@@ -78,18 +101,34 @@ func RunManyParallelContext(ctx context.Context, s *Scenario, ids []string, time
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			r, err := runWithContext(ctx, s, e, timeout)
+			if err != nil && !isCancellation(err) {
+				rootMu.Lock()
+				if rootErr == nil {
+					rootID, rootErr = e.ID, err
+				}
+				rootMu.Unlock()
+			}
 			outs[i] = outcome{r, err}
 		}(i, e)
 	}
 	wg.Wait()
 	var res []Result
-	for _, o := range outs {
+	for i, o := range outs {
 		if o.err != nil {
+			if isCancellation(o.err) && rootErr != nil && rootID != exps[i].ID {
+				return res, fmt.Errorf("%w (first failure: experiment %s: %v)", o.err, rootID, rootErr)
+			}
 			return res, o.err
 		}
 		res = append(res, o.r)
 	}
 	return res, nil
+}
+
+// isCancellation reports whether err is (or wraps) a context cancellation
+// or deadline error rather than a failure of the experiment itself.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // RunAllParallelContext runs the whole registry concurrently (bounded by
@@ -102,6 +141,19 @@ func RunAllParallelContext(ctx context.Context, s *Scenario, timeout time.Durati
 		ids[i] = e.ID
 	}
 	return RunManyParallelContext(ctx, s, ids, timeout)
+}
+
+// RunExperimentContext runs one Experiment value — not necessarily a
+// registry entry — on the scenario under the context, with an optional
+// per-run deadline. It is the primitive behind RunByIDContext, exposed so
+// supervisors (internal/harness) can drive synthetic or wrapped
+// experiments through the exact same isolation path: a panic inside Run
+// is captured with its goroutine stack and returned as a *par.PanicError
+// wrapped in the experiment's ID, and cancellation/timeout errors wrap
+// the context's error. The discard-on-timeout rule of RunByIDContext
+// applies.
+func RunExperimentContext(ctx context.Context, s *Scenario, e Experiment, timeout time.Duration) (Result, error) {
+	return runWithContext(ctx, s, e, timeout)
 }
 
 func runWithContext(ctx context.Context, s *Scenario, e Experiment, timeout time.Duration) (Result, error) {
@@ -120,8 +172,15 @@ func runWithContext(ctx context.Context, s *Scenario, e Experiment, timeout time
 	ch := make(chan outcome, 1)
 	go func() {
 		defer func() {
+			// Same capture shape as internal/par: the deferred recover runs
+			// on the panicking goroutine's stack before unwinding, so the
+			// trace includes the panic site. The typed error lets callers
+			// classify panics (errors.As) instead of string-matching.
 			if p := recover(); p != nil {
-				ch <- outcome{err: fmt.Errorf("core: experiment %s panicked: %v", e.ID, p)}
+				buf := make([]byte, 16<<10)
+				buf = buf[:runtime.Stack(buf, false)]
+				ch <- outcome{err: fmt.Errorf("core: experiment %s: %w",
+					e.ID, &par.PanicError{Value: p, Stack: buf})}
 			}
 		}()
 		r, err := e.Run(ctx, s)
@@ -131,6 +190,14 @@ func runWithContext(ctx context.Context, s *Scenario, e Experiment, timeout time
 	case o := <-ch:
 		return o.r, o.err
 	case <-ctx.Done():
+		// The experiment may have delivered its outcome in the same instant
+		// the context died; prefer the real outcome so a simultaneous drain
+		// cannot mask an actual failure (or discard a finished result).
+		select {
+		case o := <-ch:
+			return o.r, o.err
+		default:
+		}
 		return Result{}, fmt.Errorf("core: experiment %s: %w", e.ID, ctx.Err())
 	}
 }

@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
 	"time"
+
+	"beatbgp/internal/par"
 )
 
 func TestRunByIDContextUnknown(t *testing.T) {
@@ -44,6 +47,66 @@ func TestRunByIDContextCompletes(t *testing.T) {
 	}
 	if r.ID != "t32" {
 		t.Fatalf("got result %q, want t32", r.ID)
+	}
+}
+
+func TestRunExperimentPanicIsTyped(t *testing.T) {
+	s := scenario(t, 1)
+	boom := Experiment{ID: "boom", Title: "panics", Run: func(context.Context, *Scenario) (Result, error) {
+		panic("kaboom")
+	}}
+	_, err := RunExperimentContext(context.Background(), s, boom, 0)
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *par.PanicError, got %v", err)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error missing value or stack: %+v", pe)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error does not name the experiment: %v", err)
+	}
+}
+
+// TestParallelSiblingErrorNamesCulprit locks the drain contract: when the
+// campaign context is cancelled after one experiment has already failed
+// for a real reason, the cancellation errors its siblings return must be
+// annotated with that first failure instead of masking it.
+func TestParallelSiblingErrorNamesCulprit(t *testing.T) {
+	// Both experiments must run concurrently ("innocent" blocks until
+	// "culprit" cancels), so pin the worker budget above 1.
+	cfg := smallConfig(1)
+	cfg.Workers = 2
+	s, err := NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exps := []Experiment{
+		// Index 0 blocks until the context dies, then reports cancellation:
+		// the lowest-index error that used to mask the root cause.
+		{ID: "innocent", Title: "waits", Run: func(ctx context.Context, _ *Scenario) (Result, error) {
+			<-ctx.Done()
+			return Result{}, ctx.Err()
+		}},
+		// Index 1 fails for a real reason and triggers the drain. The
+		// cancel is delayed so the real error is delivered (and recorded
+		// as the root cause) before the cancellation reaches anyone.
+		{ID: "culprit", Title: "fails", Run: func(context.Context, *Scenario) (Result, error) {
+			time.AfterFunc(100*time.Millisecond, cancel)
+			return Result{}, errors.New("disk melted")
+		}},
+	}
+	_, err = runManyParallel(ctx, s, exps, 0)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("lowest-index error should still be a cancellation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "culprit") || !strings.Contains(err.Error(), "disk melted") {
+		t.Fatalf("cancellation error does not name the first failure: %v", err)
 	}
 }
 

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"beatbgp/internal/core"
+	"beatbgp/internal/stats"
+)
+
+// CellRef identifies one unit of campaign work: one experiment run
+// against the world of one seed. Key is the content key of that cell —
+// the build graph's WorldKey for the seeded config chained with the
+// experiment ID — so a config change invalidates exactly the checkpoints
+// whose world it changes and nothing else.
+type CellRef struct {
+	Experiment string `json:"experiment"`
+	Seed       uint64 `json:"seed"`
+	Key        string `json:"key"`
+}
+
+func (c CellRef) String() string {
+	return fmt.Sprintf("%s seed=%d", c.Experiment, c.Seed)
+}
+
+// cellKey chains the world key with the experiment ID into the cell's
+// content key (reusing the build graph's keyed hashing via WorldKey's
+// format: both are short hex sha256 prefixes).
+func cellKey(worldKey, id string) string {
+	return core.CellKey(worldKey, id)
+}
+
+// tmpPrefix marks in-flight checkpoint writes. The dot keeps them out of
+// result listings, and the supervisor sweeps stale ones (a SIGKILL
+// mid-write leaves at most a tmp file, never a torn checkpoint) on the
+// next run against the same directory.
+const tmpPrefix = ".tmp-"
+
+var unsafePath = regexp.MustCompile(`[^a-zA-Z0-9._-]+`)
+
+// checkpointName is the stable on-disk name of a cell's checkpoint.
+func checkpointName(ref CellRef) string {
+	id := unsafePath.ReplaceAllString(ref.Experiment, "_")
+	return fmt.Sprintf("%s-%d-%s.json", id, ref.Seed, ref.Key)
+}
+
+// checkpointFile is the persisted form of one completed cell.
+type checkpointFile struct {
+	Experiment string   `json:"experiment"`
+	Seed       uint64   `json:"seed"`
+	Key        string   `json:"key"`
+	Result     cpResult `json:"result"`
+}
+
+// The checkpoint codec stores every float as its shortest round-tripping
+// decimal string (strconv 'g'/-1), because encoding/json rejects NaN and
+// ±Inf outright — and table cells can legally hold NaN (stats.Table pads
+// missing cells with it). String floats make the encode→decode cycle
+// bit-exact for every value, which is what lets a resumed campaign
+// render byte-identically to an uninterrupted one.
+type cpResult struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Notes  []string   `json:"notes,omitempty"`
+	Series []cpSeries `json:"series,omitempty"`
+	Tables []cpTable  `json:"tables,omitempty"`
+}
+
+type cpSeries struct {
+	Name   string   `json:"name"`
+	XLabel string   `json:"xlabel"`
+	YLabel string   `json:"ylabel"`
+	X      []string `json:"x"`
+	Y      []string `json:"y"`
+}
+
+type cpTable struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Rows    []cpRow  `json:"rows"`
+}
+
+type cpRow struct {
+	Label string   `json:"label"`
+	Cells []string `json:"cells"`
+}
+
+func fstr(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func encodeResult(r core.Result) cpResult {
+	out := cpResult{ID: r.ID, Title: r.Title, Notes: r.Notes}
+	for _, s := range r.Series {
+		cs := cpSeries{Name: s.Name, XLabel: s.XLabel, YLabel: s.YLabel}
+		for _, p := range s.Points {
+			cs.X = append(cs.X, fstr(p.X))
+			cs.Y = append(cs.Y, fstr(p.Y))
+		}
+		out.Series = append(out.Series, cs)
+	}
+	for _, t := range r.Tables {
+		ct := cpTable{Name: t.Name, Columns: t.Columns}
+		for _, row := range t.Rows {
+			cr := cpRow{Label: row.Label}
+			for _, c := range row.Cells {
+				cr.Cells = append(cr.Cells, fstr(c))
+			}
+			ct.Rows = append(ct.Rows, cr)
+		}
+		out.Tables = append(out.Tables, ct)
+	}
+	return out
+}
+
+func decodeResult(c cpResult) (core.Result, error) {
+	pf := func(s string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("harness: corrupt checkpoint float %q: %w", s, err)
+		}
+		return v, nil
+	}
+	out := core.Result{ID: c.ID, Title: c.Title, Notes: c.Notes}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return core.Result{}, fmt.Errorf("harness: corrupt checkpoint series %q: %d xs, %d ys", s.Name, len(s.X), len(s.Y))
+		}
+		cs := stats.Series{Name: s.Name, XLabel: s.XLabel, YLabel: s.YLabel}
+		for i := range s.X {
+			x, err := pf(s.X[i])
+			if err != nil {
+				return core.Result{}, err
+			}
+			y, err := pf(s.Y[i])
+			if err != nil {
+				return core.Result{}, err
+			}
+			cs.Points = append(cs.Points, stats.XY{X: x, Y: y})
+		}
+		out.Series = append(out.Series, cs)
+	}
+	for _, t := range c.Tables {
+		ct := stats.Table{Name: t.Name, Columns: t.Columns}
+		for _, row := range t.Rows {
+			cr := stats.Row{Label: row.Label}
+			for _, cell := range row.Cells {
+				v, err := pf(cell)
+				if err != nil {
+					return core.Result{}, err
+				}
+				cr.Cells = append(cr.Cells, v)
+			}
+			ct.Rows = append(ct.Rows, cr)
+		}
+		out.Tables = append(out.Tables, ct)
+	}
+	return out, nil
+}
+
+// writeCheckpoint persists one completed cell via temp-file + atomic
+// rename: a crash at any instant leaves either the complete previous
+// state or a stale dotted temp file, never a torn checkpoint.
+func writeCheckpoint(dir string, ref CellRef, r core.Result) error {
+	data, err := json.MarshalIndent(checkpointFile{
+		Experiment: ref.Experiment, Seed: ref.Seed, Key: ref.Key,
+		Result: encodeResult(r),
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("harness: encode checkpoint %s: %w", ref, err)
+	}
+	return writeAtomic(dir, checkpointName(ref), append(data, '\n'))
+}
+
+// writeAtomic writes data to dir/name through a same-directory temp file,
+// an fsync, and a rename.
+func writeAtomic(dir, name string, data []byte) error {
+	f, err := os.CreateTemp(dir, tmpPrefix+name+"-*")
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, filepath.Join(dir, name))
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("harness: write %s: %w", name, werr)
+	}
+	return nil
+}
+
+// loadCheckpoint reads the checkpoint for ref, if one exists. The bool
+// reports presence; a present-but-unreadable file is returned as an
+// error so the caller can decide to re-run the cell instead of dying.
+func loadCheckpoint(dir string, ref CellRef) (core.Result, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointName(ref)))
+	if os.IsNotExist(err) {
+		return core.Result{}, false, nil
+	}
+	if err != nil {
+		return core.Result{}, false, fmt.Errorf("harness: %w", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return core.Result{}, false, fmt.Errorf("harness: corrupt checkpoint %s: %w", checkpointName(ref), err)
+	}
+	if cf.Key != ref.Key || cf.Experiment != ref.Experiment || cf.Seed != ref.Seed {
+		return core.Result{}, false, fmt.Errorf("harness: checkpoint %s does not match cell %s", checkpointName(ref), ref)
+	}
+	r, err := decodeResult(cf.Result)
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	return r, true, nil
+}
+
+// sweepStaleTemps removes leftover in-flight temp files from a previous
+// process that was killed mid-write.
+func sweepStaleTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

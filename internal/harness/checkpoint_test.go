@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"beatbgp/internal/core"
+	"beatbgp/internal/stats"
+)
+
+// sampleResult exercises every awkward corner of the codec: NaN and ±Inf
+// (which encoding/json rejects outright), a float with no short decimal
+// form, and empty optional sections.
+func sampleResult() core.Result {
+	return core.Result{
+		ID:    "t:sample",
+		Title: "sample result",
+		Notes: []string{"one note"},
+		Series: []stats.Series{{
+			Name: "cdf", XLabel: "x", YLabel: "y",
+			Points: []stats.XY{
+				{X: 0.1, Y: math.NaN()},
+				{X: math.Inf(1), Y: -0.30000000000000004},
+				{X: 1e-320, Y: math.Inf(-1)}, // subnormal
+			},
+		}},
+		Tables: []stats.Table{{
+			Name:    "grid",
+			Columns: []string{"c1", "c2"},
+			Rows: []stats.Row{
+				{Label: "r1", Cells: []float64{1.5, math.NaN()}},
+				{Label: "r2", Cells: []float64{math.Inf(-1), 2.718281828459045}},
+			},
+		}},
+	}
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func TestCheckpointRoundTripBitExact(t *testing.T) {
+	dir := t.TempDir()
+	ref := CellRef{Experiment: "t:sample", Seed: 42, Key: "deadbeefdeadbeef"}
+	want := sampleResult()
+	if err := writeCheckpoint(dir, ref, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := loadCheckpoint(dir, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("checkpoint not found after write")
+	}
+	if got.Render() != want.Render() {
+		t.Fatalf("render mismatch:\n got: %q\nwant: %q", got.Render(), want.Render())
+	}
+	// Render collapses precision; the determinism contract needs bit-exact
+	// floats, so check them directly.
+	for si, s := range want.Series {
+		for pi, p := range s.Points {
+			g := got.Series[si].Points[pi]
+			if !bitsEqual(p.X, g.X) || !bitsEqual(p.Y, g.Y) {
+				t.Errorf("series %d point %d: got (%v,%v), want (%v,%v)", si, pi, g.X, g.Y, p.X, p.Y)
+			}
+		}
+	}
+	for ti, tb := range want.Tables {
+		for ri, row := range tb.Rows {
+			for ci, c := range row.Cells {
+				g := got.Tables[ti].Rows[ri].Cells[ci]
+				if !bitsEqual(c, g) {
+					t.Errorf("table %d row %d cell %d: got %v, want %v", ti, ri, ci, g, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointMissingIsNotError(t *testing.T) {
+	_, ok, err := loadCheckpoint(t.TempDir(), CellRef{Experiment: "x", Seed: 1, Key: "ab"})
+	if err != nil || ok {
+		t.Fatalf("missing checkpoint: ok=%v err=%v, want false,nil", ok, err)
+	}
+}
+
+func TestCheckpointContentMismatchRejected(t *testing.T) {
+	// A file whose embedded identity disagrees with its name (say, copied
+	// between run dirs) must not be trusted.
+	dir := t.TempDir()
+	ref := CellRef{Experiment: "t:sample", Seed: 42, Key: "aaaaaaaaaaaaaaaa"}
+	if err := writeCheckpoint(dir, ref, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	other := CellRef{Experiment: "t:sample", Seed: 42, Key: "bbbbbbbbbbbbbbbb"}
+	data, err := os.ReadFile(filepath.Join(dir, checkpointName(ref)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(other)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = loadCheckpoint(dir, other)
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("mismatched checkpoint accepted: err=%v", err)
+	}
+}
+
+func TestCheckpointCorruptRejected(t *testing.T) {
+	dir := t.TempDir()
+	ref := CellRef{Experiment: "t:sample", Seed: 7, Key: "cccccccccccccccc"}
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(ref)), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := loadCheckpoint(dir, ref)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("torn checkpoint accepted: err=%v", err)
+	}
+}
+
+func TestSweepStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	ref := CellRef{Experiment: "t:sample", Seed: 1, Key: "dddddddddddddddd"}
+	if err := writeCheckpoint(dir, ref, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, tmpPrefix+"leftover-123")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sweepStaleTemps(dir)
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived the sweep: %v", err)
+	}
+	if _, ok, err := loadCheckpoint(dir, ref); err != nil || !ok {
+		t.Fatalf("real checkpoint lost in sweep: ok=%v err=%v", ok, err)
+	}
+}

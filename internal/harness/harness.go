@@ -1,0 +1,558 @@
+// Package harness is the crash-safe experiment supervisor: it wraps the
+// experiment registry and the multi-seed sweeps in the run layer a long
+// campaign needs to survive its own failures.
+//
+// A campaign is a grid of cells — one (experiment, seed) pair each — and
+// the supervisor guarantees that one bad cell never discards the rest:
+//
+//   - Isolation. Every cell runs through core.RunExperimentContext, so a
+//     panic inside Run is captured (internal/par's panic plumbing, stack
+//     included) and filed under a typed taxonomy (Kind / CellError /
+//     errors.Is-able sentinels) instead of crashing the campaign.
+//   - Retries. Failures classified transient — timeouts, plus whatever
+//     Config.Transient opts in — are retried up to Config.Retries times
+//     with exponential backoff whose jitter is drawn from xrand.Derive
+//     streams keyed by ⟨experiment, seed, attempt⟩: deterministic, and
+//     uncorrelated across cells.
+//   - Watchdog. Config.Watchdog emits a slow-experiment warning event
+//     while Config.Timeout (layered on core's per-run deadline) kills
+//     the attempt. A timed-out world is tainted — the abandoned
+//     goroutine may still be mutating its caches — and later attempts
+//     derive a fresh twin (immutable artifacts shared, mutable state
+//     rebuilt).
+//   - Checkpoints. With Config.RunDir set, every completed cell is
+//     persisted as JSON keyed by the build graph's content key
+//     (WorldKey ⊕ experiment ID), written via temp file + atomic rename;
+//     Config.Resume skips cells whose checkpoint is already on disk. A
+//     config change invalidates exactly the stale cells.
+//   - Drain. When the campaign context dies (SIGINT/SIGTERM in
+//     cmd/beatbgp), no new cells start; in-flight cells get Config.Grace
+//     to finish (and still checkpoint) before being abandoned; and the
+//     manifest plus partial results are emitted with an explicit
+//     INCOMPLETE banner rather than thrown away.
+//
+// Determinism holds throughout: a resumed campaign renders byte-identical
+// output to an uninterrupted one, at any worker count — the checkpoint
+// codec round-trips every float bit-exactly and results are merged in
+// cell order, never completion order.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"beatbgp/internal/core"
+	"beatbgp/internal/par"
+	"beatbgp/internal/xrand"
+)
+
+// Campaign is the work grid: one experiment per ID, run against the
+// world of every seed.
+type Campaign struct {
+	// Base is the scenario configuration; Seed is overridden per cell by
+	// the Seeds sweep (via the same central derivation RunSeeds uses).
+	Base core.Config
+	// IDs are the experiments to run, in output order. Empty means the
+	// full registry.
+	IDs []string
+	// Seeds are the worlds to sweep. Empty means {Base.Seed}: a plain
+	// single-world run. With more than one seed, FinalResults aggregates
+	// per-seed table cells exactly like core.RunSeeds.
+	Seeds []uint64
+	// Experiments optionally overrides the registry the IDs resolve
+	// against — the hook tests (and embedders with custom studies) use
+	// to drive synthetic experiments through the real supervisor.
+	Experiments []core.Experiment
+}
+
+// Config tunes the supervisor. The zero value runs the campaign once,
+// in-memory, with no retries, checkpoints, or deadlines.
+type Config struct {
+	// RunDir is the checkpoint directory; "" disables persistence.
+	RunDir string
+	// Resume skips cells whose checkpoint already exists in RunDir.
+	Resume bool
+	// Retries caps the extra attempts granted to transient failures.
+	Retries int
+	// Backoff is the base delay before a retry (default 100ms); attempt
+	// n sleeps Backoff·2^(n-1) scaled by a deterministic jitter in
+	// [0.5, 1.5) drawn from xrand.Derive(BackoffSeed, experiment, seed,
+	// attempt).
+	Backoff     time.Duration
+	BackoffSeed uint64
+	// Timeout is the hard per-attempt deadline (0: none).
+	Timeout time.Duration
+	// Watchdog emits an EventSlow warning when an attempt outlives it
+	// (0: no warnings). It warns; Timeout kills.
+	Watchdog time.Duration
+	// Grace lets in-flight cells run this much longer after the campaign
+	// context is cancelled, so a drain flushes nearly-done work to the
+	// checkpoint directory instead of discarding it (0: abandon
+	// immediately).
+	Grace time.Duration
+	// Transient optionally classifies additional errors (beyond
+	// timeouts) as retryable.
+	Transient func(error) bool
+	// Events receives supervisor notifications (slow warnings, retries,
+	// checkpoints, world builds). Sends never block: when the channel is
+	// full the event is dropped, so a slow consumer cannot stall the
+	// campaign.
+	Events chan<- Event
+
+	// sleep stubs the backoff delay in tests.
+	sleep func(ctx context.Context, d time.Duration)
+}
+
+// EventKind tags a supervisor notification.
+type EventKind string
+
+const (
+	// EventWorld: a seed's world was built (Detail carries the build report).
+	EventWorld EventKind = "world"
+	// EventSlow: an attempt outlived the watchdog and is still running.
+	EventSlow EventKind = "slow"
+	// EventRetry: a transient failure is about to be retried after Wall.
+	EventRetry EventKind = "retry"
+	// EventCheckpoint: a completed cell was persisted.
+	EventCheckpoint EventKind = "checkpoint"
+	// EventResumed: a cell was restored from RunDir and will not re-run.
+	EventResumed EventKind = "resumed"
+	// EventBadCheckpoint: a checkpoint existed but could not be used; the
+	// cell re-runs.
+	EventBadCheckpoint EventKind = "bad-checkpoint"
+)
+
+// Event is one supervisor notification.
+type Event struct {
+	Kind    EventKind
+	Cell    CellRef // zero for world builds
+	Seed    uint64  // world builds only
+	Attempt int
+	Wall    time.Duration // elapsed (slow), delay (retry), build time (world)
+	Err     string
+	Detail  string
+}
+
+func (c *Config) emit(ev Event) {
+	if c.Events == nil {
+		return
+	}
+	select {
+	case c.Events <- ev:
+	default:
+	}
+}
+
+func (c *Config) isTransient(ce *CellError) bool {
+	if ce.Kind == KindTimeout {
+		return true
+	}
+	if ce.Kind == KindError && c.Transient != nil {
+		return c.Transient(ce.Err)
+	}
+	return false
+}
+
+// backoffDelay is the deterministic retry delay for a cell's attempt:
+// exponential in the attempt, jittered by a stream that is a pure
+// function of ⟨BackoffSeed, experiment, seed, attempt⟩ so reruns sleep
+// identically and sibling cells stay uncorrelated.
+func (c *Config) backoffDelay(ref CellRef, attempt int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	const maxDelay = 30 * time.Second
+	d := base << (attempt - 1)
+	if d <= 0 || d > maxDelay {
+		d = maxDelay
+	}
+	rng := xrand.Derive(c.BackoffSeed, hash64(ref.Experiment), ref.Seed, uint64(attempt))
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
+func (c *Config) sleepCtx(ctx context.Context, d time.Duration) {
+	if c.sleep != nil {
+		c.sleep(ctx, d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// hash64 is FNV-64a, for keying backoff streams by experiment ID.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Millisecond)
+}
+
+// cellState is one cell's mutable slot during a run. Each cell is owned
+// by exactly one goroutine; everything is read only after the batch's
+// WaitGroup settles.
+type cellState struct {
+	ref   CellRef
+	exp   core.Experiment
+	out   Outcome
+	res   core.Result
+	done  bool
+	cpErr error // checkpoint write failure: fatal at campaign end
+}
+
+// resolve maps the campaign's IDs onto Experiment values.
+func (camp Campaign) resolve() ([]core.Experiment, []string, error) {
+	reg := camp.Experiments
+	if reg == nil {
+		reg = core.Experiments()
+	}
+	byID := make(map[string]core.Experiment, len(reg))
+	var order []string
+	for _, e := range reg {
+		byID[e.ID] = e
+		order = append(order, e.ID)
+	}
+	ids := camp.IDs
+	if len(ids) == 0 {
+		ids = order
+	}
+	seen := make(map[string]bool, len(ids))
+	exps := make([]core.Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := byID[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("harness: unknown experiment %q", id)
+		}
+		if seen[id] {
+			return nil, nil, fmt.Errorf("harness: duplicate experiment %q", id)
+		}
+		seen[id] = true
+		exps[i] = e
+	}
+	return exps, ids, nil
+}
+
+// Run supervises the campaign to the end of the grid or the end of the
+// context, whichever comes first, and always returns a full per-cell
+// accounting (the Report and, with RunDir set, the persisted manifest).
+// The error is non-nil only for hard failures — invalid campaign or
+// supervisor configuration, an unusable run directory — where no cells
+// were (or could safely be) run; partial completion is not an error
+// here, it is Report.ExitCode() == 2.
+func Run(ctx context.Context, camp Campaign, cfg Config) (*Report, error) {
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("harness: negative retries")
+	}
+	if cfg.Resume && cfg.RunDir == "" {
+		return nil, fmt.Errorf("harness: -resume requires a run directory")
+	}
+	exps, ids, err := camp.resolve()
+	if err != nil {
+		return nil, err
+	}
+	seeds := camp.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{camp.Base.Seed}
+	}
+	seenSeed := make(map[uint64]bool, len(seeds))
+	for _, s := range seeds {
+		if seenSeed[s] {
+			return nil, fmt.Errorf("harness: duplicate seed %d", s)
+		}
+		seenSeed[s] = true
+	}
+	if cfg.RunDir != "" {
+		if err := os.MkdirAll(cfg.RunDir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		sweepStaleTemps(cfg.RunDir)
+	}
+	start := time.Now()
+
+	// Lay the grid out seed-major, so each seed's world is built at most
+	// once and derived from the previous seed's (RunSeeds' stage-reuse
+	// path). Cell keys bind each checkpoint to the exact world content.
+	type seedBatch struct {
+		seed  uint64
+		cells []*cellState
+	}
+	batches := make([]*seedBatch, 0, len(seeds))
+	for _, seed := range seeds {
+		scfg := camp.Base
+		scfg.Seed = seed
+		wk, err := core.WorldKey(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: seed %d: %w", seed, err)
+		}
+		b := &seedBatch{seed: seed}
+		for i, e := range exps {
+			b.cells = append(b.cells, &cellState{
+				ref: CellRef{Experiment: ids[i], Seed: seed, Key: cellKey(wk, ids[i])},
+				exp: e,
+			})
+		}
+		batches = append(batches, b)
+	}
+
+	// Resume: restore completed cells before anything runs. A checkpoint
+	// that exists but cannot be used (corrupt, mismatched key) demotes to
+	// a re-run, never an abort.
+	if cfg.Resume {
+		for _, b := range batches {
+			for _, c := range b.cells {
+				r, ok, err := loadCheckpoint(cfg.RunDir, c.ref)
+				if err != nil {
+					cfg.emit(Event{Kind: EventBadCheckpoint, Cell: c.ref, Err: err.Error()})
+					continue
+				}
+				if ok {
+					c.res, c.done = r, true
+					c.out = Outcome{CellRef: c.ref, Status: StatusResumed, Attempts: 0}
+					cfg.emit(Event{Kind: EventResumed, Cell: c.ref})
+				}
+			}
+		}
+	}
+
+	workers := par.Workers(camp.Base.Workers)
+	var prev *core.Scenario
+	for _, b := range batches {
+		var pending []*cellState
+		for _, c := range b.cells {
+			if !c.done {
+				pending = append(pending, c)
+			}
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		scfg := camp.Base
+		scfg.Seed = b.seed
+		w := &world{cfg: scfg, prev: prev, emit: cfg.emit}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for _, c := range pending {
+			wg.Add(1)
+			go func(c *cellState) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runCell(ctx, w, c, &cfg)
+			}(c)
+		}
+		wg.Wait()
+		if s := w.snapshot(); s != nil {
+			prev = s
+		}
+	}
+
+	var (
+		outcomes []Outcome
+		results  = make(map[resKey]core.Result)
+		cpErr    error
+	)
+	for _, b := range batches {
+		for _, c := range b.cells {
+			outcomes = append(outcomes, c.out)
+			if c.done {
+				results[resKey{c.ref.Experiment, c.ref.Seed}] = c.res
+			}
+			if c.cpErr != nil && cpErr == nil {
+				cpErr = c.cpErr
+			}
+		}
+	}
+	rep := &Report{IDs: ids, Seeds: seeds, Outcomes: outcomes, results: results}
+	counts := make(map[Status]int)
+	for _, o := range outcomes {
+		counts[o.Status]++
+	}
+	rep.Manifest = Manifest{
+		IDs: ids, Seeds: seeds, Workers: workers, Retries: cfg.Retries,
+		WallMs: msSince(start), Complete: rep.Complete(), ExitCode: rep.ExitCode(),
+		Counts: counts, Outcomes: outcomes,
+	}
+	if cfg.Timeout > 0 {
+		rep.Manifest.Timeout = cfg.Timeout.String()
+	}
+	if cfg.Watchdog > 0 {
+		rep.Manifest.Watchdog = cfg.Watchdog.String()
+	}
+	if cpErr != nil {
+		// The run directory is not recording what we computed; completing
+		// "successfully" would leave a resume that silently re-runs (or
+		// worse, trusts stale state). Surface it as the hard failure it is.
+		return nil, cpErr
+	}
+	if cfg.RunDir != "" {
+		if err := writeManifest(cfg.RunDir, rep.Manifest); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// runCell drives one cell to an Outcome: attempt, classify, maybe retry.
+func runCell(ctx context.Context, w *world, c *cellState, cfg *Config) {
+	t0 := time.Now()
+	fin := func(o Outcome) {
+		o.WallMs = msSince(t0)
+		c.out = o
+	}
+	maxAttempts := 1 + cfg.Retries
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			if attempt == 1 {
+				fin(Outcome{CellRef: c.ref, Status: StatusSkipped, Kind: KindCancelled, Attempts: 0})
+			} else {
+				fin(Outcome{CellRef: c.ref, Status: StatusCancelled, Kind: KindCancelled,
+					Err: ctx.Err().Error(), Attempts: attempt - 1})
+			}
+			return
+		}
+		s, err := w.get(ctx)
+		if err != nil {
+			ce := cellError(c.ref, err, true)
+			if ce.Kind == KindCancelled {
+				fin(Outcome{CellRef: c.ref, Status: StatusCancelled, Kind: KindCancelled,
+					Err: err.Error(), Attempts: attempt - 1})
+			} else {
+				fin(Outcome{CellRef: c.ref, Status: StatusFailed, Kind: ce.Kind,
+					Err: err.Error(), Attempts: attempt})
+			}
+			return
+		}
+		var slow *time.Timer
+		if cfg.Watchdog > 0 {
+			att, started := attempt, time.Now()
+			slow = time.AfterFunc(cfg.Watchdog, func() {
+				cfg.emit(Event{Kind: EventSlow, Cell: c.ref, Attempt: att, Wall: time.Since(started)})
+			})
+		}
+		runCtx, stopGrace := ctx, func() {}
+		if cfg.Grace > 0 {
+			runCtx, stopGrace = graceContext(ctx, cfg.Grace)
+		}
+		r, err := core.RunExperimentContext(runCtx, s, c.exp, cfg.Timeout)
+		stopGrace()
+		if slow != nil {
+			slow.Stop()
+		}
+		if err == nil {
+			if cfg.RunDir != "" {
+				if werr := writeCheckpoint(cfg.RunDir, c.ref, r); werr != nil {
+					c.cpErr = werr
+				} else {
+					cfg.emit(Event{Kind: EventCheckpoint, Cell: c.ref, Attempt: attempt})
+				}
+			}
+			c.res, c.done = r, true
+			fin(Outcome{CellRef: c.ref, Status: StatusOK, Attempts: attempt})
+			return
+		}
+		ce := cellError(c.ref, err, false)
+		if ce.Kind == KindTimeout || ce.Kind == KindCancelled {
+			// The abandoned goroutine may still be mutating this world
+			// instance's caches; nothing may run on it again.
+			w.taint(s)
+		}
+		if ce.Kind == KindCancelled {
+			fin(Outcome{CellRef: c.ref, Status: StatusCancelled, Kind: KindCancelled,
+				Err: err.Error(), Attempts: attempt})
+			return
+		}
+		if attempt < maxAttempts && cfg.isTransient(ce) {
+			delay := cfg.backoffDelay(c.ref, attempt)
+			cfg.emit(Event{Kind: EventRetry, Cell: c.ref, Attempt: attempt, Err: err.Error(), Wall: delay})
+			cfg.sleepCtx(ctx, delay)
+			continue
+		}
+		fin(Outcome{CellRef: c.ref, Status: StatusFailed, Kind: ce.Kind,
+			Err: err.Error(), Stack: ce.Stack, Attempts: attempt})
+		return
+	}
+}
+
+// world manages one seed's scenario: lazily built, shared by the seed's
+// cells, and replaced by a freshly-derived twin once tainted by a
+// timeout (the abandoned goroutine keeps the old instance to itself).
+type world struct {
+	mu      sync.Mutex
+	cfg     core.Config    // campaign base with this batch's seed applied
+	prev    *core.Scenario // previous seed's world, for stage reuse
+	scen    *core.Scenario
+	tainted bool
+	emit    func(Event)
+}
+
+func (w *world) get(ctx context.Context) (*core.Scenario, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.scen != nil && !w.tainted {
+		return w.scen, nil
+	}
+	t0 := time.Now()
+	var s *core.Scenario
+	var err error
+	switch {
+	case w.scen != nil:
+		// Tainted: derive a twin with fresh mutable state. Immutable
+		// artifacts are shared safely — their memos are guarded and
+		// value-deterministic (DESIGN §9 confinement rule).
+		s, err = w.scen.DeriveContext(ctx, nil)
+	case w.prev != nil:
+		seed := w.cfg.Seed
+		s, err = w.prev.DeriveContext(ctx, func(c *core.Config) { c.Seed = seed })
+	default:
+		s, err = core.NewScenarioContext(ctx, w.cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.scen, w.tainted = s, false
+	w.emit(Event{Kind: EventWorld, Seed: w.cfg.Seed, Wall: time.Since(t0),
+		Detail: s.BuildReport().Render()})
+	return s, nil
+}
+
+func (w *world) taint(s *core.Scenario) {
+	w.mu.Lock()
+	if w.scen == s {
+		w.tainted = true
+	}
+	w.mu.Unlock()
+}
+
+func (w *world) snapshot() *core.Scenario {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.scen
+}
+
+// graceContext returns a context that outlives parent's cancellation by
+// grace, so a drain lets in-flight work finish (and checkpoint) instead
+// of abandoning it mid-computation. The returned stop function releases
+// the watcher and cancels the derived context.
+func graceContext(parent context.Context, grace time.Duration) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.WithoutCancel(parent))
+	stop := context.AfterFunc(parent, func() {
+		time.AfterFunc(grace, cancel)
+	})
+	return ctx, func() {
+		stop()
+		cancel()
+	}
+}

@@ -1,0 +1,390 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"beatbgp/internal/core"
+	"beatbgp/internal/faults"
+	"beatbgp/internal/stats"
+)
+
+// testBase is the small world every supervisor test runs against.
+func testBase(seed uint64) core.Config {
+	cfg := core.Config{Seed: seed, Workers: 2}
+	cfg.Topology.EyeballsPerRegion = 6
+	cfg.Workload.Days = 2
+	return cfg
+}
+
+func synth(id string, run func(context.Context, *core.Scenario) (core.Result, error)) core.Experiment {
+	return core.Experiment{ID: id, Title: "synthetic " + id, Run: run}
+}
+
+// synthResult is deterministic in the scenario (seed-dependent, with a
+// float that has no finite binary expansion) so determinism assertions
+// have something real to bite on.
+func synthResult(s *core.Scenario, id string) core.Result {
+	t := stats.Table{Name: "metrics", Columns: []string{"value"}}
+	t.AddRow("seed_third", float64(s.Cfg.Seed)/3.0)
+	t.AddRow("ases", float64(len(s.Topo.ASes)))
+	return core.Result{ID: id, Title: "synthetic " + id, Tables: []stats.Table{t}}
+}
+
+func okRun(id string) func(context.Context, *core.Scenario) (core.Result, error) {
+	return func(_ context.Context, s *core.Scenario) (core.Result, error) {
+		return synthResult(s, id), nil
+	}
+}
+
+func outcomeFor(t *testing.T, rep *Report, id string) Outcome {
+	t.Helper()
+	for _, o := range rep.Outcomes {
+		if o.Experiment == id {
+			return o
+		}
+	}
+	t.Fatalf("no outcome for experiment %q", id)
+	return Outcome{}
+}
+
+func noSleep(context.Context, time.Duration) {}
+
+func readManifest(t *testing.T, dir string) Manifest {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPanicIsolation: one experiment panicking must not abort the
+// campaign — its siblings complete, the exit contract says partial (2),
+// and the manifest records the panic with its stack.
+func TestPanicIsolation(t *testing.T) {
+	dir := t.TempDir()
+	camp := Campaign{Base: testBase(11), Experiments: []core.Experiment{
+		synth("t:ok1", okRun("t:ok1")),
+		synth("t:boom", func(context.Context, *core.Scenario) (core.Result, error) {
+			panic("kaboom")
+		}),
+		synth("t:ok2", okRun("t:ok2")),
+	}}
+	rep, err := Run(context.Background(), camp, Config{RunDir: dir})
+	if err != nil {
+		t.Fatalf("a cell panic must not be a supervisor error: %v", err)
+	}
+	if rep.Complete() {
+		t.Fatal("campaign with a panicked cell reported complete")
+	}
+	if rep.ExitCode() != 2 {
+		t.Fatalf("exit code = %d, want 2 (partial)", rep.ExitCode())
+	}
+	for _, id := range []string{"t:ok1", "t:ok2"} {
+		if o := outcomeFor(t, rep, id); o.Status != StatusOK {
+			t.Errorf("%s: status %q, want ok — siblings must survive a panic", id, o.Status)
+		}
+	}
+	boom := outcomeFor(t, rep, "t:boom")
+	if boom.Status != StatusFailed || boom.Kind != KindPanic {
+		t.Fatalf("panicked cell filed as (%s, %s), want (failed, panic)", boom.Status, boom.Kind)
+	}
+	if !strings.Contains(boom.Err, "kaboom") {
+		t.Errorf("outcome error %q does not carry the panic value", boom.Err)
+	}
+	if boom.Stack == "" || !strings.Contains(boom.Stack, "goroutine") {
+		t.Errorf("outcome stack %q is not a goroutine stack", boom.Stack)
+	}
+	if boom.Attempts != 1 {
+		t.Errorf("panic consumed %d attempts, want 1 (panics are not transient)", boom.Attempts)
+	}
+	if !errors.Is(rep.FirstError(), ErrPanic) {
+		t.Errorf("FirstError %v does not match ErrPanic", rep.FirstError())
+	}
+	m := readManifest(t, dir)
+	if m.ExitCode != 2 || m.Complete {
+		t.Errorf("manifest says exit=%d complete=%v, want 2/false", m.ExitCode, m.Complete)
+	}
+	var mb *Outcome
+	for i := range m.Outcomes {
+		if m.Outcomes[i].Experiment == "t:boom" {
+			mb = &m.Outcomes[i]
+		}
+	}
+	if mb == nil || mb.Kind != KindPanic || mb.Stack == "" {
+		t.Errorf("manifest does not record the panic with its stack: %+v", mb)
+	}
+	if m.Counts[StatusOK] != 2 || m.Counts[StatusFailed] != 1 {
+		t.Errorf("manifest counts = %v, want 2 ok / 1 failed", m.Counts)
+	}
+}
+
+// TestRetryTransient: an error the Transient hook classifies retryable is
+// retried (with the deterministic backoff consulted) and the attempt
+// count lands in the outcome.
+func TestRetryTransient(t *testing.T) {
+	var attempts atomic.Int32
+	camp := Campaign{Base: testBase(5), Experiments: []core.Experiment{
+		synth("t:flaky", func(_ context.Context, s *core.Scenario) (core.Result, error) {
+			if attempts.Add(1) == 1 {
+				return core.Result{}, errors.New("flaky glitch")
+			}
+			return synthResult(s, "t:flaky"), nil
+		}),
+	}}
+	events := make(chan Event, 64)
+	cfg := Config{
+		Retries:   2,
+		Backoff:   time.Millisecond,
+		Transient: func(err error) bool { return strings.Contains(err.Error(), "flaky") },
+		Events:    events,
+		sleep:     noSleep,
+	}
+	rep, err := Run(context.Background(), camp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outcomeFor(t, rep, "t:flaky")
+	if o.Status != StatusOK || o.Attempts != 2 {
+		t.Fatalf("outcome (%s, %d attempts), want (ok, 2)", o.Status, o.Attempts)
+	}
+	if n := attempts.Load(); n != 2 {
+		t.Fatalf("experiment ran %d times, want 2", n)
+	}
+	sawRetry := false
+	for {
+		select {
+		case ev := <-events:
+			if ev.Kind == EventRetry && ev.Attempt == 1 && ev.Wall > 0 {
+				sawRetry = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sawRetry {
+		t.Error("no EventRetry for attempt 1 was emitted")
+	}
+}
+
+// TestNonTransientNotRetried: without a Transient opt-in, an ordinary
+// error burns exactly one attempt no matter the retry budget.
+func TestNonTransientNotRetried(t *testing.T) {
+	var attempts atomic.Int32
+	camp := Campaign{Base: testBase(5), Experiments: []core.Experiment{
+		synth("t:hard", func(context.Context, *core.Scenario) (core.Result, error) {
+			attempts.Add(1)
+			return core.Result{}, errors.New("deterministic defect")
+		}),
+	}}
+	rep, err := Run(context.Background(), camp, Config{Retries: 3, sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outcomeFor(t, rep, "t:hard")
+	if o.Status != StatusFailed || o.Kind != KindError || o.Attempts != 1 {
+		t.Fatalf("outcome (%s, %s, %d attempts), want (failed, error, 1)", o.Status, o.Kind, o.Attempts)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("experiment ran %d times, want 1", n)
+	}
+}
+
+// TestFaultWindowTimeoutRetried: the fault-injection layer and the
+// supervisor compose — an experiment stalled inside a scheduled fault
+// window hits the per-attempt deadline (transient by taxonomy), is
+// retried once, probes past the window, and succeeds.
+func TestFaultWindowTimeoutRetried(t *testing.T) {
+	var attempt atomic.Int32
+	camp := Campaign{Base: testBase(3), Experiments: []core.Experiment{
+		synth("t:window", func(ctx context.Context, s *core.Scenario) (core.Result, error) {
+			tl, err := faults.New(s.Topo, []faults.Event{
+				{Kind: faults.LDNSStale, Target: -1, Start: 0, Duration: 60},
+			})
+			if err != nil {
+				return core.Result{}, err
+			}
+			// Attempt n probes minute 90·(n-1): the first lands inside the
+			// stale window and stalls; the second lands past it.
+			clock := float64(attempt.Add(1)-1) * 90
+			if tl.DNSStale(clock) {
+				<-ctx.Done()
+				return core.Result{}, ctx.Err()
+			}
+			return synthResult(s, "t:window"), nil
+		}),
+	}}
+	cfg := Config{Retries: 1, Timeout: 50 * time.Millisecond, Backoff: time.Millisecond, sleep: noSleep}
+	rep, err := Run(context.Background(), camp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outcomeFor(t, rep, "t:window")
+	if o.Status != StatusOK || o.Attempts != 2 {
+		t.Fatalf("outcome (%s, %d attempts), want (ok, 2): %s", o.Status, o.Attempts, o.Err)
+	}
+}
+
+// TestDeterministicBackoff: the jitter is a pure function of
+// (seed, experiment, seed, attempt) — identical across processes, and
+// uncorrelated across cells.
+func TestDeterministicBackoff(t *testing.T) {
+	cfg := Config{Backoff: 100 * time.Millisecond, BackoffSeed: 9}
+	a := CellRef{Experiment: "fig1", Seed: 42}
+	if d1, d2 := cfg.backoffDelay(a, 1), cfg.backoffDelay(a, 1); d1 != d2 {
+		t.Fatalf("same cell, same attempt: %v != %v", d1, d2)
+	}
+	b := CellRef{Experiment: "fig2", Seed: 42}
+	if cfg.backoffDelay(a, 1) == cfg.backoffDelay(b, 1) {
+		t.Error("sibling cells drew identical jitter (correlated backoff)")
+	}
+	d1, d2 := cfg.backoffDelay(a, 1), cfg.backoffDelay(a, 2)
+	if d2 < d1 { // exponential base dominates the [0.5,1.5) jitter at 2×
+		t.Errorf("attempt 2 delay %v below attempt 1 delay %v", d2, d1)
+	}
+}
+
+// TestCancellationLeavesNoPartialCheckpoint: a drain mid-campaign leaves
+// the run directory with only complete, loadable checkpoints and the
+// manifest — never a torn file or a stray temp.
+func TestCancellationLeavesNoPartialCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := make(chan Event, 128)
+	go func() {
+		for ev := range events {
+			if ev.Kind == EventCheckpoint {
+				cancel() // the drain arrives right after the first cell lands
+				return
+			}
+		}
+	}()
+	camp := Campaign{Base: testBase(9), Experiments: []core.Experiment{
+		synth("t:fast", okRun("t:fast")),
+		synth("t:hang", func(ctx context.Context, s *core.Scenario) (core.Result, error) {
+			<-ctx.Done()
+			return core.Result{}, ctx.Err()
+		}),
+	}}
+	rep, err := Run(ctx, camp, Config{RunDir: dir, Events: events})
+	if err != nil {
+		t.Fatalf("a drain must not be a supervisor error: %v", err)
+	}
+	if rep.Complete() || rep.ExitCode() != 2 {
+		t.Fatalf("drained campaign: complete=%v exit=%d, want false/2", rep.Complete(), rep.ExitCode())
+	}
+	if o := outcomeFor(t, rep, "t:hang"); o.Status != StatusCancelled && o.Status != StatusSkipped {
+		t.Errorf("hung cell status %q, want cancelled or skipped", o.Status)
+	}
+	if b := rep.Banner(); !strings.Contains(b, "INCOMPLETE RUN") || !strings.Contains(b, "-resume") {
+		t.Errorf("banner missing the partial marker or the resume hint:\n%s", b)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Errorf("stray temp file %q after drain", e.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(data) {
+			t.Errorf("torn file %q in run dir after drain", e.Name())
+		}
+	}
+	// Every checkpoint present corresponds to a completed cell and loads.
+	for _, o := range rep.Outcomes {
+		_, ok, err := loadCheckpoint(dir, o.CellRef)
+		if err != nil {
+			t.Errorf("cell %s: unreadable checkpoint: %v", o.CellRef, err)
+		}
+		if ok && o.Status != StatusOK {
+			t.Errorf("cell %s has status %q but a checkpoint on disk", o.CellRef, o.Status)
+		}
+		if !ok && o.Status == StatusOK {
+			t.Errorf("completed cell %s has no checkpoint", o.CellRef)
+		}
+	}
+	if m := readManifest(t, dir); m.Complete || m.ExitCode != 2 {
+		t.Errorf("manifest after drain: complete=%v exit=%d, want false/2", m.Complete, m.ExitCode)
+	}
+}
+
+// TestBadCheckpointReruns: a corrupt checkpoint demotes the cell to a
+// re-run (with an event), never an abort — and the re-run repairs it.
+func TestBadCheckpointReruns(t *testing.T) {
+	dir := t.TempDir()
+	camp := Campaign{Base: testBase(4), Experiments: []core.Experiment{
+		synth("t:x", okRun("t:x")),
+	}}
+	rep, err := Run(context.Background(), camp, Config{RunDir: dir})
+	if err != nil || !rep.Complete() {
+		t.Fatalf("seed run: complete=%v err=%v", rep.Complete(), err)
+	}
+	ref := rep.Outcomes[0].CellRef
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(ref)), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan Event, 64)
+	rep2, err := Run(context.Background(), camp, Config{RunDir: dir, Resume: true, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outcomeFor(t, rep2, "t:x")
+	if o.Status != StatusOK || o.Attempts != 1 {
+		t.Fatalf("cell with corrupt checkpoint: (%s, %d attempts), want a clean re-run", o.Status, o.Attempts)
+	}
+	sawBad := false
+	for {
+		select {
+		case ev := <-events:
+			sawBad = sawBad || ev.Kind == EventBadCheckpoint
+			continue
+		default:
+		}
+		break
+	}
+	if !sawBad {
+		t.Error("no EventBadCheckpoint emitted for the corrupt file")
+	}
+	if _, ok, err := loadCheckpoint(dir, ref); err != nil || !ok {
+		t.Fatalf("re-run did not repair the checkpoint: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	base := testBase(1)
+	cases := []struct {
+		name string
+		camp Campaign
+		cfg  Config
+	}{
+		{"negative retries", Campaign{Base: base, IDs: []string{"fig1"}}, Config{Retries: -1}},
+		{"resume without dir", Campaign{Base: base, IDs: []string{"fig1"}}, Config{Resume: true}},
+		{"unknown experiment", Campaign{Base: base, IDs: []string{"no-such"}}, Config{}},
+		{"duplicate experiment", Campaign{Base: base, IDs: []string{"fig1", "fig1"}}, Config{}},
+		{"duplicate seed", Campaign{Base: base, IDs: []string{"fig1"}, Seeds: []uint64{3, 3}}, Config{}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(context.Background(), tc.camp, tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
