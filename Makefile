@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-par fuzz fuzz-par stress-par stress-harness verify bench bench-json clean
+.PHONY: all build vet fmt-check test race race-par race-session fuzz fuzz-par fuzz-session stress-par stress-session stress-harness verify bench bench-json clean
 
 all: vet fmt-check build test
 
@@ -18,7 +18,7 @@ fmt-check:
 test:
 	$(GO) test ./...
 
-race: race-par
+race: race-par race-session
 	$(GO) test -race ./...
 
 # Race-focused pass over the parallel runtime and everything it fans out
@@ -31,6 +31,13 @@ race-par:
 	$(GO) test -race -run 'TestConcurrentDerivedScenarios|TestDeriveArtifactReuse' ./internal/core/
 	$(GO) test -race -run 'TestRenderDeterministicAcrossWorkers|TestParallelRunnerMatchesSequential' .
 
+# Race-focused pass over the event-driven session layer and the core
+# experiments that replay it inside parallel sweeps (xdetect fans one
+# session replay per timer setting across par workers).
+race-session:
+	$(GO) test -race ./internal/session/
+	$(GO) test -race -run 'TestDetectionStudyShape|TestFlapStormShape|TestSessionDifferentialMatchesClosedForm|TestSessionStudyDeterminism' ./internal/core/
+
 # Short fuzz pass over Config validation; raise FUZZTIME for a longer run.
 FUZZTIME ?= 10s
 fuzz:
@@ -41,11 +48,23 @@ fuzz:
 fuzz-par:
 	$(GO) test -run=^$$ -fuzz=FuzzMapVsSerial -fuzztime=$(FUZZTIME) ./internal/par/
 
+# Fuzz the BGP/BFD session FSMs: random event sequences must never reach
+# an invalid state, never panic, and never enter Established without the
+# full handshake.
+fuzz-session:
+	$(GO) test -run=^$$ -fuzz=FuzzFSMTransitions -fuzztime=$(FUZZTIME) ./internal/session/
+
 # Deterministic stress: repeated randomized worker-count sweeps checked
 # against the serial oracle, with the race detector watching.
 STRESSCOUNT ?= 5
 stress-par:
 	$(GO) test -race -run 'TestStressRandomWorkersVsSerialOracle' -count=$(STRESSCOUNT) ./internal/par/
+
+# Session determinism stress: the flap-storm and detection experiments
+# rendered at workers 1 vs 8 (and with BFD on) must be byte-identical,
+# with the race detector watching the parallel replay.
+stress-session:
+	STRESS_SESSION=1 $(GO) test -race -run 'TestStressSessionAcrossWorkers' -v -timeout 10m .
 
 # Crash-safety stress: SIGKILL a live campaign the moment its first
 # checkpoint lands, resume it, and assert the resumed stdout is
@@ -55,20 +74,23 @@ stress-harness:
 
 # The full pre-merge gate: formatting, static checks, build, the whole
 # test suite, and the race-focused parallel pass, in fail-fast order.
-verify: fmt-check vet build test race-par
+verify: fmt-check vet build test race-par race-session
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Machine-readable benchmark baseline: BENCH_$(N).json records ns/op and
-# allocs for the root experiment suite plus the parallel-runtime probes.
-# Bump N for each new baseline (BENCH_1.json is the first, committed one).
-N ?= 1
+# allocs for the root experiment suite, the parallel-runtime probes, and
+# the session-layer replay benchmarks. Bump N for each new baseline
+# (BENCH_1.json is the first committed one; BENCH_3.json adds the
+# session benchmarks).
+N ?= 3
 BENCHTIME ?= 1x
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	{ $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ . ; \
-	  $(GO) test -bench='EFTraceReplay|Fig3AnycastSweep|SiteDensitySweep' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/core/ ; } \
+	  $(GO) test -bench='EFTraceReplay|Fig3AnycastSweep|SiteDensitySweep' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/core/ ; \
+	  $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/session/ ; } \
 	  | /tmp/benchjson -o BENCH_$(N).json
 
 clean:

@@ -87,6 +87,8 @@ func BenchmarkCapacity(b *testing.B)           { benchExperiment(b, "xcap") }
 func BenchmarkSiteOutage(b *testing.B)         { benchExperiment(b, "xdyn") }
 func BenchmarkFaultStudy(b *testing.B)         { benchExperiment(b, "xfaults") }
 func BenchmarkFaultAvailability(b *testing.B)  { benchExperiment(b, "xavail") }
+func BenchmarkDetectionStudy(b *testing.B)     { benchExperiment(b, "xdetect") }
+func BenchmarkFlapStorm(b *testing.B)          { benchExperiment(b, "xflap") }
 func BenchmarkHybrid(b *testing.B)             { benchExperiment(b, "xhybrid") }
 func BenchmarkOdin(b *testing.B)               { benchExperiment(b, "xodin") }
 func BenchmarkSiteDensity(b *testing.B)        { benchExperiment(b, "xsites") }

@@ -5,7 +5,7 @@
 //
 //	beatbgp [-seed N] [-exp id[,id...]] [-list] [-days N] [-eyeballs N]
 //	        [-seeds N] [-timeout D] [-watchdog D] [-retries N] [-workers N]
-//	        [-run-dir DIR] [-resume DIR]
+//	        [-run-dir DIR] [-resume DIR] [-hold SEC] [-bfd]
 //
 // With no -exp, every registered experiment runs in the paper's order.
 // Every run is a supervised campaign over (experiment, seed) cells:
@@ -74,6 +74,8 @@ func run() error {
 		runDir   = flag.String("run-dir", "", "checkpoint directory: completed cells and the run manifest are persisted here")
 		resume   = flag.String("resume", "", "resume an interrupted campaign from this run directory (implies -run-dir)")
 		workers  = flag.Int("workers", 0, "parallel worker budget for sweeps and the experiment runner; 0 means GOMAXPROCS")
+		hold     = flag.Float64("hold", 0, "BGP hold timer in seconds for the session layer (keepalive scales to hold/3); 0 means the 36s default")
+		bfd      = flag.Bool("bfd", false, "enable BFD fast failure detection on every session (300ms x3 by default)")
 		bstats   = flag.Bool("buildstats", false, "print the scenario build report (per-stage wall time, rebuilt vs reused)")
 	)
 	flag.Parse()
@@ -90,8 +92,8 @@ func run() error {
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q (flags only)", flag.Args())
 	}
-	if *days < 0 || *eyeballs < 0 || *seeds < 0 || *workers < 0 || *retries < 0 {
-		return fmt.Errorf("-days, -eyeballs, -seeds, -workers and -retries must be non-negative")
+	if *days < 0 || *eyeballs < 0 || *seeds < 0 || *workers < 0 || *retries < 0 || *hold < 0 {
+		return fmt.Errorf("-days, -eyeballs, -seeds, -workers, -retries and -hold must be non-negative")
 	}
 	if *timeout < 0 || *watchdog < 0 {
 		return fmt.Errorf("-timeout and -watchdog must be non-negative")
@@ -136,6 +138,10 @@ func run() error {
 	if *eyeballs > 0 {
 		cfg.Topology.EyeballsPerRegion = *eyeballs
 	}
+	if *hold > 0 {
+		cfg.Session.HoldSec = *hold
+	}
+	cfg.Session.BFD = *bfd
 
 	// Drain on SIGINT/SIGTERM: cancel the campaign context, give in-flight
 	// experiments drainGrace to finish, and still render partial results

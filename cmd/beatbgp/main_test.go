@@ -52,7 +52,7 @@ func TestStressKillResume(t *testing.T) {
 	}
 
 	common := []string{
-		"-seed", "42", "-seeds", "2", "-exp", "t32,fig2",
+		"-seed", "42", "-seeds", "2", "-exp", "t32,fig2,xflap,xdetect",
 		"-eyeballs", "6", "-days", "2", "-workers", "2",
 	}
 

@@ -18,7 +18,7 @@ func TestRenderDeterministicAcrossWorkers(t *testing.T) {
 		t.Skip("multi-scenario sweep")
 	}
 	seeds := []uint64{42, 7}
-	exps := []string{"fig1", "fig3", "fig5"}
+	exps := []string{"fig1", "fig3", "fig5", "xdetect", "xflap"}
 	for _, seed := range seeds {
 		// Reference: fully serial run.
 		refCfg := facadeConfig(seed)

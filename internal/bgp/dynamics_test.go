@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"math"
 	"testing"
 
 	"beatbgp/internal/topology"
@@ -200,5 +201,53 @@ func TestComputeWithoutMatchesComputeWhenNothingDown(t *testing.T) {
 		if ra.Valid != rb.Valid || ra.PathLen() != rb.PathLen() || ra.Link != rb.Link {
 			t.Fatalf("AS %d differs with empty down set", as)
 		}
+	}
+}
+
+func TestConvergenceModelConfig(t *testing.T) {
+	old := Route{Valid: true, Path: []int{1, 2, 3}, Links: []int{10, 11}}
+	nw := Route{Valid: true, Path: []int{1, 4, 5, 3}, Links: []int{20, 21, 22}}
+
+	// The zero model is the reference model.
+	if m, ok := (ConvergenceModel{}).Minutes(old, nw); !ok || m != ConvergenceBaseMin+3*ConvergencePerHopMin {
+		t.Fatalf("zero model = (%v,%v), want default constants", m, ok)
+	}
+	ref, _ := ConvergenceMinutes(old, nw)
+	def, _ := DefaultConvergence.Minutes(old, nw)
+	if ref != def {
+		t.Fatalf("ConvergenceMinutes %v != DefaultConvergence.Minutes %v", ref, def)
+	}
+
+	// Tuned terms change the estimate linearly.
+	tuned := ConvergenceModel{BaseMin: 1.5, PerHopMin: 0.25}
+	if m, ok := tuned.Minutes(old, nw); !ok || m != 1.5+0.25*3 {
+		t.Fatalf("tuned model = (%v,%v)", m, ok)
+	}
+
+	// ApplyDefaults completes partial models.
+	half := ConvergenceModel{BaseMin: 2}.ApplyDefaults()
+	if half.PerHopMin != ConvergencePerHopMin || half.BaseMin != 2 {
+		t.Fatalf("ApplyDefaults = %+v", half)
+	}
+
+	if ExplorationHops(nw) != 3 || ExplorationHops(Route{Valid: true}) != 0 {
+		t.Fatal("ExplorationHops mismatch")
+	}
+
+	for _, bad := range []ConvergenceModel{
+		{BaseMin: -1, PerHopMin: 0.5},
+		{BaseMin: 0.5, PerHopMin: math.NaN()},
+		{BaseMin: math.Inf(1), PerHopMin: 0.5},
+		{BaseMin: 0.5, PerHopMin: 25 * 60},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("model %+v validated", bad)
+		}
+	}
+	if err := (ConvergenceModel{}).Validate(); err != nil {
+		t.Fatalf("zero model rejected: %v", err)
+	}
+	if err := DefaultConvergence.Validate(); err != nil {
+		t.Fatalf("default model rejected: %v", err)
 	}
 }

@@ -55,9 +55,12 @@ const (
 	StageGen      = "gen"
 )
 
-// buildKeys holds the per-stage content keys for one normalized config.
+// buildKeys holds the per-stage content keys for one normalized config,
+// plus the dynamics key (convergence + session models), which is not a
+// build stage — nothing is constructed from it at build time — but must
+// enter the WorldKey because it changes what experiments compute.
 type buildKeys struct {
-	topo, prov, cdn, dns, oracle, res, sim, gen string
+	topo, prov, cdn, dns, oracle, res, sim, gen, dyn string
 }
 
 // computeKeys derives every stage key from the normalized config. Keys
@@ -77,6 +80,7 @@ func computeKeys(cfg Config) buildKeys {
 	k.res = stageKey(StageResolver, k.cdn)
 	k.sim = stageKey(StageSim, cfg.Net, k.cdn)
 	k.gen = stageKey(StageGen, cfg.Workload, k.sim, k.res)
+	k.dyn = stageKey("dynamics", cfg.Convergence, cfg.Session)
 	return k
 }
 
@@ -94,7 +98,7 @@ func WorldKey(cfg Config) (string, error) {
 		return "", err
 	}
 	k := computeKeys(cfg)
-	return stageKey("world", k.topo, k.prov, k.cdn, k.dns, k.oracle, k.res, k.sim, k.gen), nil
+	return stageKey("world", k.topo, k.prov, k.cdn, k.dns, k.oracle, k.res, k.sim, k.gen, k.dyn), nil
 }
 
 // CellKey chains a WorldKey with an experiment ID into the content key of

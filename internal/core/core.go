@@ -21,6 +21,7 @@ import (
 	"beatbgp/internal/netsim"
 	"beatbgp/internal/par"
 	"beatbgp/internal/provider"
+	"beatbgp/internal/session"
 	"beatbgp/internal/stats"
 	"beatbgp/internal/topology"
 	"beatbgp/internal/workload"
@@ -36,6 +37,16 @@ type Config struct {
 	DNS      dnsmap.Config
 	Net      netsim.Config
 	Workload workload.Config
+
+	// Convergence tunes the closed-form reference model for BGP
+	// reconvergence (base + per-hop minutes). The zero value selects the
+	// classic Labovitz-calibrated constants.
+	Convergence bgp.ConvergenceModel
+	// Session parameterizes the event-driven BGP session layer
+	// (internal/session): hold/keepalive timers, MRAI, flap damping, and
+	// optional BFD fast detection. The zero value selects defaults
+	// calibrated to the Convergence reference model.
+	Session session.Config
 
 	// Workers bounds the parallel runtime's pool for the heavy sweeps
 	// (route propagation, trace replay, measurement campaigns). Zero or
@@ -68,6 +79,10 @@ func (c *Config) setDefaults() {
 		// cloud-tier campaign with slack.
 		c.Net.HorizonMinutes = 40 * 24 * 60
 	}
+	// Normalize the dynamics models so equal effective configs hash to
+	// equal world keys regardless of which zero fields the caller left.
+	c.Convergence = c.Convergence.ApplyDefaults()
+	c.Session = c.Session.ApplyDefaults()
 }
 
 // Validate checks every sub-configuration, rejecting nonsensical
@@ -92,6 +107,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: %w", err)
 	}
 	if err := c.Workload.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Convergence.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Session.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil
@@ -219,6 +240,8 @@ func Experiments() []Experiment {
 		{"xdyn", "§4: site outages — anycast failover vs DNS caching", noCtx(SiteOutageStudy)},
 		{"xfaults", "Injected faults: BGP-vs-alternates degradation and blackholes", noCtx(FaultStudy)},
 		{"xavail", "Injected faults: anycast vs DNS-redirection availability", noCtx(AnycastFaultAvailability)},
+		{"xdetect", "Detection sensitivity: hold timers vs BFD under injected faults", noCtx(DetectionStudy)},
+		{"xflap", "Flap storms: route damping and emergent unreachability", noCtx(FlapStormStudy)},
 		{"xhybrid", "§4: hybrid anycast + DNS redirection policies", noCtx(HybridStudy)},
 		{"xodin", "Odin-style measurement pipeline: budget vs prediction quality", noCtx(OdinStudy)},
 		{"xsites", "§3.2.2: CDN build-out — how many sites are enough?", SiteDensityStudy},

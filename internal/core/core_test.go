@@ -40,7 +40,7 @@ func cell(t *testing.T, r Result, table, row, col string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "t31", "t311", "fig3", "t32", "fig4",
 		"fig5", "t33", "t4g", "xpeer", "xgroom", "xwan", "xsplit", "xdiv", "xcap",
-		"xdyn", "xfaults", "xavail", "xhybrid", "xodin", "xsites", "xinfer", "xcorridor",
+		"xdyn", "xfaults", "xavail", "xdetect", "xflap", "xhybrid", "xodin", "xsites", "xinfer", "xcorridor",
 		"xqoe", "afate", "aecs", "apni"}
 	got := Experiments()
 	if len(got) != len(want) {

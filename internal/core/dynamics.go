@@ -66,7 +66,7 @@ func SiteOutageStudy(s *Scenario) (Result, error) {
 			if sIdx, err := s.CDN.Catchment(p, nil); err == nil && sIdx == site {
 				anyAffected += p.Weight
 				post := postRIB.BestFrom(p.Origin, p.City)
-				conv, ok := bgp.ConvergenceMinutes(pre, post)
+				conv, ok := s.Cfg.Convergence.Minutes(pre, post)
 				if !ok {
 					anyDown.Add(outageLenMin, p.Weight)
 				} else {

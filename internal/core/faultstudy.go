@@ -10,6 +10,7 @@ import (
 	"beatbgp/internal/netsim"
 	"beatbgp/internal/par"
 	"beatbgp/internal/provider"
+	"beatbgp/internal/session"
 	"beatbgp/internal/stats"
 )
 
@@ -33,25 +34,15 @@ func FaultStudy(s *Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	// Aim the session resets at the provider's own egress links — faults on
-	// links no trace crosses teach nothing. (PeerLinks walks a map; sort so
-	// the candidate pool, and therefore the drawn schedule, is stable.)
-	var egressLinks []int
-	for _, class := range []provider.RouteClass{
-		provider.ClassPNI, provider.ClassPublicPeer, provider.ClassTransit,
-	} {
-		egressLinks = append(egressLinks, s.Prov.PeerLinks(class)...)
+	tl, err := egressFaultTimeline(s)
+	if err != nil {
+		return Result{}, err
 	}
-	sort.Ints(egressLinks)
-	tl, err := faults.Generate(s.Topo, faults.GenConfig{
-		Seed:           s.Cfg.Seed ^ 0x0F17,
-		HorizonMinutes: faultHorizonMin,
-		CableCuts:      2,
-		LinkResets:     25,
-		ASOutages:      2,
-		Storms:         8,
-		CandidateLinks: egressLinks,
-	})
+	// Replay the schedule through the event-driven session layer: the
+	// faulty twin sees the EMERGENT overlay — a link is unusable while
+	// physically down or while its route is withdrawn/suppressed — rather
+	// than instantaneous fault edges.
+	hist, err := sessionHistory(s, tl, s.Cfg.Session)
 	if err != nil {
 		return Result{}, err
 	}
@@ -59,7 +50,7 @@ func FaultStudy(s *Scenario) (Result, error) {
 	// injected faults, so their difference isolates the injection.
 	clean := netsim.New(s.Topo, s.Cfg.Net)
 	faulty := netsim.New(s.Topo, s.Cfg.Net)
-	faulty.SetFaults(tl)
+	faulty.SetFaults(hist)
 
 	traceVol := make([]float64, len(traces))
 	for i, tr := range traces {
@@ -152,18 +143,32 @@ func FaultStudy(s *Scenario) (Result, error) {
 		return Result{}, err
 	}
 
-	var bgpDown, efDown, spillPenalty stats.Dist
+	var bgpDown, sessDown, efDown, spillPenalty stats.Dist
+	var detectLat, baseDelta stats.Dist
+	var detectedEvents, undetectedEvents int
 	var affectedVol, eventVol, shiftedVol, spillVol float64
 	for _, e := range tl.Events() {
 		if e.Kind == faults.CongestionStorm || e.Kind == faults.LDNSStale {
 			continue
 		}
 		downE := make(map[int]bool)
-		for _, l := range tl.AffectedLinks(e) {
+		affected := tl.AffectedLinks(e)
+		for _, l := range affected {
 			downE[l] = true
 		}
 		if len(downE) == 0 {
 			continue
+		}
+		// Per-(event, link) detection accounting for the differential
+		// comparison against the closed form's base term.
+		for _, l := range affected {
+			if lat, ok := hist.DetectionLatencyMin(l, e.Start); ok {
+				detectedEvents++
+				detectLat.Add(lat, 1)
+				baseDelta.Add(math.Abs(lat-s.Cfg.Convergence.BaseMin), 1)
+			} else {
+				undetectedEvents++
+			}
 		}
 		isDown := func(l int) bool { return downE[l] }
 		demands := make([]provider.Demand, len(traces))
@@ -189,14 +194,16 @@ func FaultStudy(s *Scenario) (Result, error) {
 			affectedVol += traceVol[i]
 			if len(surviving) == 0 {
 				bgpDown.Add(e.Duration, traceVol[i])
+				sessDown.Add(e.Duration, traceVol[i])
 				efDown.Add(e.Duration, traceVol[i])
 				continue
 			}
-			conv, ok := bgp.ConvergenceMinutes(opts[0].Route, surviving[0].Route)
+			conv, ok := s.Cfg.Convergence.Minutes(opts[0].Route, surviving[0].Route)
 			if !ok {
 				conv = e.Duration
 			}
 			bgpDown.Add(math.Min(conv, e.Duration), traceVol[i])
+			sessDown.Add(emergentDowntime(s.Cfg.Session, hist, opts[0], isDown, e, surviving[0].Route), traceVol[i])
 			efDown.Add(math.Min(efDetectMin, e.Duration), traceVol[i])
 		}
 		choice, _ := provider.AssignUnderCapacity(demands, caps)
@@ -231,7 +238,13 @@ func FaultStudy(s *Scenario) (Result, error) {
 	bh := stats.Table{Name: "blackhole minutes per outage per affected client-route",
 		Columns: []string{"mean_downtime_min", "p90_downtime_min", "frac_volume_affected"}}
 	bh.AddRow("bgp_convergence", distMean(bgpDown), distQ(bgpDown, 0.90), frac(affectedVol, eventVol))
+	bh.AddRow("bgp_session_timers", distMean(sessDown), distQ(sessDown, 0.90), frac(affectedVol, eventVol))
 	bh.AddRow("edge_fabric_override", distMean(efDown), distQ(efDown, 0.90), frac(affectedVol, eventVol))
+
+	diff := stats.Table{Name: "session layer vs closed-form reference", Columns: []string{"value"}}
+	diff.AddRow("mean_detect_latency_min", distMean(detectLat))
+	diff.AddRow("mean_abs_base_delta_min", distMean(baseDelta))
+	diff.AddRow("frac_event_links_undetected", frac(float64(undetectedEvents), float64(detectedEvents+undetectedEvents)))
 
 	sp := stats.Table{Name: "capacity spillover during outages", Columns: []string{"value"}}
 	sp.AddRow("frac_volume_shifted_off_preferred", frac(shiftedVol, spillVol))
@@ -239,11 +252,87 @@ func FaultStudy(s *Scenario) (Result, error) {
 	sp.AddRow("queue_penalty_p90_ms", distQ(spillPenalty, 0.90))
 
 	res := Result{ID: "xfaults", Title: "Injected faults: degradation correlation and blackhole windows"}
-	res.Tables = append(res.Tables, corr, bh, sp)
+	res.Tables = append(res.Tables, corr, bh, diff, sp)
 	res.Notes = append(res.Notes,
 		"storms and cuts hit shared infrastructure, so when the preferred route degrades the best alternate usually degrades too — §3.1.1 survives fault injection",
-		"an egress controller turns multi-minute convergence blackholes into a one-minute detection blip, but pays for it in capacity spillover")
+		"an egress controller turns multi-minute convergence blackholes into a one-minute detection blip, but pays for it in capacity spillover",
+		"bgp_session_timers makes detection and exploration emergent (hold timer + MRAI): it tracks the closed form within the keepalive-phase tolerance, but is NOT capped at the fault duration — restoring a route costs a reconnect handshake and an MRAI after the link heals")
 	return res, nil
+}
+
+// egressFaultTimeline draws the deterministic fault schedule aimed at the
+// provider's own egress links — faults on links no trace crosses teach
+// nothing. (PeerLinks walks a map; sort so the candidate pool, and
+// therefore the drawn schedule, is stable.) Shared by xfaults and the
+// detection-sensitivity study so both ask their question on the same
+// schedule.
+func egressFaultTimeline(s *Scenario) (*faults.Timeline, error) {
+	var egressLinks []int
+	for _, class := range []provider.RouteClass{
+		provider.ClassPNI, provider.ClassPublicPeer, provider.ClassTransit,
+	} {
+		egressLinks = append(egressLinks, s.Prov.PeerLinks(class)...)
+	}
+	sort.Ints(egressLinks)
+	return faults.Generate(s.Topo, faults.GenConfig{
+		Seed:           s.Cfg.Seed ^ 0x0F17,
+		HorizonMinutes: faultHorizonMin,
+		CableCuts:      2,
+		LinkResets:     25,
+		ASOutages:      2,
+		Storms:         8,
+		CandidateLinks: egressLinks,
+	})
+}
+
+// sessionHistory replays a fault timeline through the session layer. The
+// replay seed derives from the sim stage's seed (not Config.Seed, which
+// is deliberately absent from the world key) so equal world keys imply
+// equal histories.
+func sessionHistory(s *Scenario, tl *faults.Timeline, cfg session.Config) (*session.History, error) {
+	return session.Replay(tl, nil, cfg, s.Cfg.Net.Seed^0x5E55, faultHorizonMin)
+}
+
+// deadRouteLink returns the first faulted link along the preferred
+// option's route: the egress peering itself, or a downstream hop whose
+// failure killed the route remotely. That is the session adjacent to the
+// failure — the one whose timers notice — and remote propagation back to
+// the provider is what the MRAI exploration term already prices.
+func deadRouteLink(pref provider.EgressOption, isDown func(int) bool) (int, bool) {
+	if isDown(pref.Link) {
+		return pref.Link, true
+	}
+	for _, l := range pref.Route.Links {
+		if isDown(l) {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// emergentDowntime is the session layer's answer to "how long is a client
+// on the killed preferred route dark?": detection latency at the session
+// adjacent to the failure, plus MRAI-paced exploration to the surviving
+// route, or — whichever comes first — the original route usable again. A
+// fault the timers never saw blackholes the client for the whole outage
+// with no reroute at all.
+func emergentDowntime(cfg session.Config, hist *session.History, pref provider.EgressOption,
+	isDown func(int) bool, e faults.Event, newRoute bgp.Route) float64 {
+	link, ok := deadRouteLink(pref, isDown)
+	if !ok {
+		return e.Duration
+	}
+	lat, detected := hist.DetectionLatencyMin(link, e.Start)
+	if !detected {
+		return e.Duration
+	}
+	down := lat + cfg.ExplorationMinutes(bgp.ExplorationHops(newRoute))
+	if o, ok := hist.OutageAt(link, e.Start); ok {
+		if restored := o.UsableAt - e.Start; restored > 0 && restored < down {
+			down = restored
+		}
+	}
+	return down
 }
 
 // frac is a/b guarding the empty denominator.
@@ -418,7 +507,7 @@ func AnycastFaultAvailability(s *Scenario) (Result, error) {
 				} else {
 					anyAff += p.Weight
 					post := postRIB.BestFrom(p.Origin, p.City)
-					if conv, ok := bgp.ConvergenceMinutes(pre, post); ok {
+					if conv, ok := s.Cfg.Convergence.Minutes(pre, post); ok {
 						anyDown.Add(math.Min(conv, e.Duration), p.Weight)
 					} else {
 						anyDown.Add(e.Duration, p.Weight)

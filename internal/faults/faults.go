@@ -316,6 +316,57 @@ func (tl *Timeline) DownLinks(t float64) map[int]bool {
 // DNSStale reports whether a redirection-map staleness window covers t.
 func (tl *Timeline) DNSStale(t float64) bool { return within(tl.stale, t) }
 
+// Window is one merged [Start, End) physical-outage window on a link.
+type Window struct{ Start, End float64 }
+
+// DownWindows returns the link's injected outage intervals, merged
+// (overlapping and touching windows coalesce) and sorted by start. This
+// is the physical up/down schedule the session layer (internal/session)
+// replays: concurrent faults on one link present as a single continuous
+// loss of liveness to the BGP speaker, which is exactly what merging
+// encodes. Nil when the link is never taken down.
+func (tl *Timeline) DownWindows(linkID int) []Window {
+	ivs := tl.linkDown[linkID]
+	if len(ivs) == 0 {
+		return nil
+	}
+	ws := make([]Window, len(ivs))
+	for i, iv := range ivs {
+		ws[i] = Window{Start: iv.start, End: iv.end}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Start != ws[j].Start {
+			return ws[i].Start < ws[j].Start
+		}
+		return ws[i].End < ws[j].End
+	})
+	merged := ws[:1]
+	for _, w := range ws[1:] {
+		last := &merged[len(merged)-1]
+		if w.Start <= last.End {
+			if w.End > last.End {
+				last.End = w.End
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	return merged
+}
+
+// FaultedLinks returns every link with at least one outage interval,
+// ascending — the set of peerings whose sessions have anything to replay.
+func (tl *Timeline) FaultedLinks() []int {
+	out := make([]int, 0, len(tl.linkDown))
+	for l, ivs := range tl.linkDown {
+		if len(ivs) > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Boundaries returns the sorted, de-duplicated event start/end minutes
 // falling in [t0, t1) — the instants at which the injected world changes,
 // which is where experiments should sample.

@@ -258,3 +258,40 @@ func TestGenerateValidation(t *testing.T) {
 		t.Error("empty explicit candidate pool accepted")
 	}
 }
+
+func TestDownWindowsMergeAndFaultedLinks(t *testing.T) {
+	topo, ids, _ := testTopo(t)
+	link := topo.Neighbors(ids["EYE"])[0].Link
+	tl, err := New(topo, []Event{
+		// Overlapping pair: [10,30) and [20,50) must coalesce to [10,50).
+		{Kind: LinkDown, Start: 10, Duration: 20, Target: link},
+		{Kind: LinkDown, Start: 20, Duration: 30, Target: link},
+		// Touching window: [50,60) extends the merged run to [10,60).
+		{Kind: LinkDown, Start: 50, Duration: 10, Target: link},
+		// Disjoint window.
+		{Kind: LinkDown, Start: 100, Duration: 5, Target: link},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tl.DownWindows(link)
+	want := []Window{{Start: 10, End: 60}, {Start: 100, End: 105}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DownWindows = %v, want %v", got, want)
+	}
+	if ls := tl.FaultedLinks(); !reflect.DeepEqual(ls, []int{link}) {
+		t.Fatalf("FaultedLinks = %v, want [%d]", ls, link)
+	}
+	if ws := tl.DownWindows(link + 99); ws != nil {
+		t.Fatalf("unfaulted link has windows %v", ws)
+	}
+	// The merged windows must agree with the point queries they summarize.
+	for _, probe := range []struct {
+		t    float64
+		down bool
+	}{{9.9, false}, {10, true}, {35, true}, {59.9, true}, {60, false}, {102, true}} {
+		if got := tl.LinkDownAt(link, probe.t); got != probe.down {
+			t.Fatalf("LinkDownAt(%v) = %v, want %v", probe.t, got, probe.down)
+		}
+	}
+}

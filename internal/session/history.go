@@ -1,0 +1,271 @@
+package session
+
+import (
+	"sort"
+
+	"beatbgp/internal/faults"
+)
+
+// Config returns the (defaults-applied) configuration the History was
+// replayed under.
+func (h *History) Config() Config { return h.cfg }
+
+// HorizonMin returns the replay horizon in minutes.
+func (h *History) HorizonMin() float64 { return h.horizonMin }
+
+// Links returns the replayed link IDs, ascending.
+func (h *History) Links() []int { return append([]int(nil), h.links...) }
+
+// Outages returns the link's outage episodes in start order. Nil for a
+// link that was never faulted (or not replayed).
+func (h *History) Outages(link int) []Outage {
+	lh := h.perLink[link]
+	if lh == nil {
+		return nil
+	}
+	return append([]Outage(nil), lh.outages...)
+}
+
+// Flaps returns how many times the link's session dropped.
+func (h *History) Flaps(link int) int {
+	lh := h.perLink[link]
+	if lh == nil {
+		return 0
+	}
+	return lh.flaps
+}
+
+// Transitions returns the link's recorded FSM state changes in time
+// order.
+func (h *History) Transitions(link int) []Transition {
+	lh := h.perLink[link]
+	if lh == nil {
+		return nil
+	}
+	return append([]Transition(nil), lh.transitions...)
+}
+
+// OutageAt returns the outage episode covering minute t on the link: an
+// episode spans [Start, max(End, UsableAt)).
+func (h *History) OutageAt(link int, t float64) (Outage, bool) {
+	lh := h.perLink[link]
+	if lh == nil {
+		return Outage{}, false
+	}
+	for _, o := range lh.outages {
+		end := o.End
+		if o.UsableAt > end {
+			end = o.UsableAt
+		}
+		if o.Start <= t && t < end {
+			return o, true
+		}
+	}
+	return Outage{}, false
+}
+
+// DetectionLatencyMin returns how long after minute t (a fault onset
+// inside some episode) the session layer noticed: DetectAt − t, clamped
+// at zero for a fault joining an already-detected episode. ok is false
+// when no episode covers t or the episode was never detected — the
+// fault was invisible to every timer.
+func (h *History) DetectionLatencyMin(link int, t float64) (float64, bool) {
+	o, found := h.OutageAt(link, t)
+	if !found || !o.Detected {
+		return 0, false
+	}
+	lat := o.DetectAt - t
+	if lat < 0 {
+		lat = 0
+	}
+	return lat, true
+}
+
+// CtlDown returns the link's control-plane-down spans in minutes: route
+// withdrawn at detection, usable again at re-advertisement.
+func (h *History) CtlDown(link int) []faults.Window {
+	lh := h.perLink[link]
+	if lh == nil {
+		return nil
+	}
+	return append([]faults.Window(nil), lh.ctlDown...)
+}
+
+// Suppressed returns the link's damping suppression spans in minutes.
+func (h *History) Suppressed(link int) []faults.Window {
+	lh := h.perLink[link]
+	if lh == nil {
+		return nil
+	}
+	return append([]faults.Window(nil), lh.suppressed...)
+}
+
+// SuppressedAt reports whether damping suppresses the link's route at
+// minute t.
+func (h *History) SuppressedAt(link int, t float64) bool {
+	lh := h.perLink[link]
+	if lh == nil {
+		return false
+	}
+	return windowsContain(lh.suppressed, t)
+}
+
+// PhysDownMinutes returns the link's total physical downtime within the
+// horizon.
+func (h *History) PhysDownMinutes(link int) float64 {
+	return measure(h.physWindows(link))
+}
+
+// UnusableMinutes returns the link's total unusable time within the
+// horizon: the measure of the union of physical downtime and
+// control-plane downtime. The gap between this and PhysDownMinutes is
+// pure session-layer tax (detection tails, handshakes, MRAI, damping),
+// minus whatever short faults the timers never saw.
+func (h *History) UnusableMinutes(link int) float64 {
+	lh := h.perLink[link]
+	if lh == nil {
+		return measure(h.physWindows(link))
+	}
+	return measure(mergeWindows(append(h.physWindows(link), lh.ctlDown...)))
+}
+
+// SuppressedWhileUpMinutes returns the time the link's route was
+// damping-suppressed while the link was physically healthy — emergent
+// unreachability the physical fault schedule cannot explain.
+func (h *History) SuppressedWhileUpMinutes(link int) float64 {
+	lh := h.perLink[link]
+	if lh == nil {
+		return 0
+	}
+	return measure(lh.suppressed) - overlap(lh.suppressed, h.physWindows(link))
+}
+
+// Boundaries returns the sorted, de-duplicated instants in [t0, t1) at
+// which the replayed world changes: the timeline's own fault boundaries
+// plus every control-plane and suppression edge — where experiments
+// integrating availability over time should sample.
+func (h *History) Boundaries(t0, t1 float64) []float64 {
+	seen := make(map[float64]bool)
+	var out []float64
+	add := func(t float64) {
+		if t >= t0 && t < t1 && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range h.tl.Boundaries(t0, t1) {
+		add(t)
+	}
+	for _, link := range h.links {
+		lh := h.perLink[link]
+		for _, w := range lh.ctlDown {
+			add(w.Start)
+			add(w.End)
+		}
+		for _, w := range lh.suppressed {
+			add(w.Start)
+			add(w.End)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// LinkDownAt implements netsim.FaultOverlay: the link is unusable when
+// physically down (delegated to the timeline, so non-replayed links keep
+// their legacy instantaneous behavior) or when its route is withdrawn or
+// suppressed.
+func (h *History) LinkDownAt(linkID int, t float64) bool {
+	if h.tl.LinkDownAt(linkID, t) {
+		return true
+	}
+	lh := h.perLink[linkID]
+	return lh != nil && windowsContain(lh.ctlDown, t)
+}
+
+// ExtraLinkMs implements netsim.FaultOverlay, delegating congestion
+// storms to the timeline untouched.
+func (h *History) ExtraLinkMs(linkID int, t float64) float64 {
+	return h.tl.ExtraLinkMs(linkID, t)
+}
+
+// physWindows returns the link's merged physical windows clamped to the
+// horizon, in minutes.
+func (h *History) physWindows(link int) []faults.Window {
+	var out []faults.Window
+	for _, w := range h.tl.DownWindows(link) {
+		if w.Start >= h.horizonMin {
+			break
+		}
+		if w.End > h.horizonMin {
+			w.End = h.horizonMin
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func windowsContain(ws []faults.Window, t float64) bool {
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].End > t })
+	return i < len(ws) && ws[i].Start <= t
+}
+
+// mergeWindows sorts and coalesces overlapping/touching windows.
+func mergeWindows(ws []faults.Window) []faults.Window {
+	if len(ws) == 0 {
+		return nil
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Start != ws[j].Start {
+			return ws[i].Start < ws[j].Start
+		}
+		return ws[i].End < ws[j].End
+	})
+	merged := ws[:1]
+	for _, w := range ws[1:] {
+		last := &merged[len(merged)-1]
+		if w.Start <= last.End {
+			if w.End > last.End {
+				last.End = w.End
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	return merged
+}
+
+// measure returns the total length of a set of disjoint sorted windows.
+func measure(ws []faults.Window) float64 {
+	total := 0.0
+	for _, w := range ws {
+		total += w.End - w.Start
+	}
+	return total
+}
+
+// overlap returns the measure of the intersection of two disjoint
+// sorted window sets.
+func overlap(a, b []faults.Window) float64 {
+	total := 0.0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}

@@ -1,0 +1,412 @@
+package session
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"beatbgp/internal/cable"
+	"beatbgp/internal/faults"
+	"beatbgp/internal/geo"
+	"beatbgp/internal/netsim"
+	"beatbgp/internal/topology"
+)
+
+// History composes with the stochastic fault process exactly like a raw
+// Timeline does.
+var _ netsim.FaultOverlay = (*History)(nil)
+
+// testTopo builds the same tiny world the faults tests use: two transits
+// spanning the hub cities and two stubs.
+func testTopo(t testing.TB) (*topology.Topo, map[string]int) {
+	t.Helper()
+	catalog := geo.World()
+	graph, err := cable.WorldGraph(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := &topology.Topo{Catalog: catalog, Graph: graph}
+	city := func(name string) int {
+		c, ok := catalog.ByName(name)
+		if !ok {
+			t.Fatalf("city %s", name)
+		}
+		return c.ID
+	}
+	hub := []int{city("NewYork"), city("London"), city("Tokyo")}
+	ids := map[string]int{}
+	add := func(name string, class topology.Class, cs []int) {
+		a, err := topo.AddAS(len(ids)+1, name, class, geo.NorthAmerica, cs, 1.1, topology.EarlyExit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = a.ID
+	}
+	add("TRa", topology.Transit, hub)
+	add("TRb", topology.Transit, hub)
+	add("EYE", topology.Eyeball, hub[:2])
+	add("STUB", topology.Eyeball, hub[:1])
+	links := map[string]int{}
+	conn := func(key, a, b string, rel topology.Rel) {
+		l, err := topo.Connect(ids[a], ids[b], rel, nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[key] = l.ID
+	}
+	conn("trab", "TRa", "TRb", topology.P2P)
+	conn("eye", "EYE", "TRa", topology.C2P)
+	conn("stub", "STUB", "TRb", topology.C2P)
+	return topo, links
+}
+
+// timeline builds an explicit LinkDown schedule: each entry is
+// (link, startMin, durationMin).
+func timeline(t testing.TB, topo *topology.Topo, evs [][3]float64) *faults.Timeline {
+	t.Helper()
+	var events []faults.Event
+	for _, e := range evs {
+		events = append(events, faults.Event{
+			Kind: faults.LinkDown, Target: int(e[0]), Start: e[1], Duration: e[2],
+		})
+	}
+	tl, err := faults.New(topo, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestConfigDefaultsAndValidate(t *testing.T) {
+	def := DefaultConfig()
+	if def.HoldSec != 36 || def.KeepaliveSec != 12 || def.MRAISec != 30 {
+		t.Fatalf("unexpected defaults: %+v", def)
+	}
+	// Tuning only the hold timer keeps the 3:1 keepalive ratio.
+	if c := (Config{HoldSec: 9}).ApplyDefaults(); c.KeepaliveSec != 3 {
+		t.Fatalf("KeepaliveSec = %v, want 3", c.KeepaliveSec)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	bad := []Config{
+		{HoldSec: 10, KeepaliveSec: 10}, // keepalive >= hold
+		{HoldSec: math.NaN()},           // non-finite
+		{DampReuse: 3000},               // reuse >= suppress
+		{BFDMultiplier: -2},             // silly multiplier
+		{HoldSec: 7200},                 // timer beyond an hour
+		{ConnectRetrySec: -1},           // negative timer
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, c)
+		}
+	}
+	// Calibration: the default mean detection matches the reference
+	// model's base term, and MRAI matches its per-hop term.
+	if got := def.MeanDetectSec() / 60; got != 0.5 {
+		t.Fatalf("mean detect %v min, want 0.5", got)
+	}
+	if got := def.ExplorationMinutes(3); got != 1.5 {
+		t.Fatalf("exploration(3) = %v, want 1.5", got)
+	}
+	bfd := Config{BFD: true}.ApplyDefaults()
+	if got := bfd.MeanDetectSec(); got != 0.9 {
+		t.Fatalf("bfd mean detect %v s, want 0.9", got)
+	}
+}
+
+func TestHandshakePath(t *testing.T) {
+	s := Idle
+	for _, step := range []struct {
+		ev   Ev
+		want State
+	}{
+		{EvStart, Connect}, {EvTCPOpen, OpenSent}, {EvBGPOpen, OpenConfirm}, {EvKeepalive, Established},
+	} {
+		var ok bool
+		s, ok = Step(s, step.ev)
+		if !ok || s != step.want {
+			t.Fatalf("after %v: state %v ok=%v, want %v", step.ev, s, ok, step.want)
+		}
+	}
+	// Keepalives and updates refresh Established; a stray OPEN is an FSM
+	// error and resets.
+	if s, _ := Step(Established, EvUpdate); s != Established {
+		t.Fatalf("update in Established -> %v", s)
+	}
+	if s, _ := Step(Established, EvBGPOpen); s != Idle {
+		t.Fatalf("OPEN in Established -> %v, want Idle", s)
+	}
+	// Out-of-range inputs are total and reset.
+	if s, ok := Step(State(200), EvStart); ok || s != Idle {
+		t.Fatalf("bogus state -> %v ok=%v", s, ok)
+	}
+	if s, ok := Step(Idle, Ev(200)); ok || s != Idle {
+		t.Fatalf("bogus event -> %v ok=%v", s, ok)
+	}
+	// BFD three-way bring-up and teardown.
+	b, _ := BFDStep(BFDDown, BFDRecvDown)
+	if b != BFDInit {
+		t.Fatalf("BFD Down+RecvDown -> %v", b)
+	}
+	b, _ = BFDStep(b, BFDRecvUp)
+	if b != BFDUp {
+		t.Fatalf("BFD Init+RecvUp -> %v", b)
+	}
+	if b, _ = BFDStep(b, BFDTimeout); b != BFDDown {
+		t.Fatalf("BFD Up+Timeout -> %v", b)
+	}
+}
+
+func TestReplayDetectsLongFault(t *testing.T) {
+	topo, links := testTopo(t)
+	link := links["eye"]
+	tl := timeline(t, topo, [][3]float64{{float64(link), 10, 10}})
+	h, err := Replay(tl, nil, Config{}, 42, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := h.Outages(link)
+	if len(outs) != 1 {
+		t.Fatalf("outages = %+v, want 1", outs)
+	}
+	o := outs[0]
+	if !o.Detected || o.Detector != DetectorHold || o.Flaps != 1 {
+		t.Fatalf("outage %+v: want detected via hold, 1 flap", o)
+	}
+	// Detection lands within [Hold-KA, Hold] of the fault onset.
+	if lat := o.DetectAt - o.Start; lat < 24.0/60-1e-9 || lat > 36.0/60+1e-9 {
+		t.Fatalf("detect latency %v min outside [0.4, 0.6]", lat)
+	}
+	if lat, ok := h.DetectionLatencyMin(link, 10); !ok || lat != o.DetectAt-10 {
+		t.Fatalf("DetectionLatencyMin = %v, %v", lat, ok)
+	}
+	// The route comes back only after recovery + retry + handshake: a
+	// control-plane tail past the physical end.
+	if o.End != 20 || o.UsableAt <= 20 || o.UsableAt > 21 {
+		t.Fatalf("outage %+v: want End=20, UsableAt in (20, 21]", o)
+	}
+	if got := h.UnusableMinutes(link); got <= 10 || got > 11 {
+		t.Fatalf("UnusableMinutes = %v, want (10, 11]", got)
+	}
+	if got := h.PhysDownMinutes(link); got != 10 {
+		t.Fatalf("PhysDownMinutes = %v, want 10", got)
+	}
+	// The full FSM walked: drop, then a complete handshake back up.
+	var evs []Ev
+	for _, tr := range h.Transitions(link) {
+		evs = append(evs, tr.Ev)
+	}
+	want := []Ev{EvHoldExpire, EvStart, EvTCPOpen, EvBGPOpen, EvKeepalive}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("transitions %v, want %v", evs, want)
+	}
+	// Overlay composition: physically down mid-fault, control-down after
+	// recovery until usable, up afterwards.
+	if !h.LinkDownAt(link, 15) {
+		t.Fatal("link should be down mid-fault")
+	}
+	if !h.LinkDownAt(link, (20+o.UsableAt)/2) {
+		t.Fatal("link should be control-plane down after recovery")
+	}
+	if h.LinkDownAt(link, o.UsableAt+0.01) {
+		t.Fatal("link should be usable after re-advertisement")
+	}
+	// Unreplayed links keep the legacy timeline behavior.
+	if h.LinkDownAt(links["stub"], 15) {
+		t.Fatal("unfaulted link reported down")
+	}
+}
+
+// A fault shorter than the detection window is invisible to the hold
+// timer — the session survives and nothing is withdrawn — but BFD's
+// sub-second detection catches it.
+func TestShortFaultInvisibleToHoldCaughtByBFD(t *testing.T) {
+	topo, links := testTopo(t)
+	link := links["eye"]
+	// 6 seconds of downtime: under any keepalive phase the next arrival
+	// after recovery beats the 36s hold deadline.
+	tl := timeline(t, topo, [][3]float64{{float64(link), 30, 0.1}})
+
+	slow, err := Replay(tl, nil, Config{}, 7, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := slow.Outages(link)
+	if len(outs) != 1 || outs[0].Detected || outs[0].Flaps != 0 {
+		t.Fatalf("hold-timer outages = %+v, want one undetected", outs)
+	}
+	if got := slow.Flaps(link); got != 0 {
+		t.Fatalf("flaps = %d, want 0", got)
+	}
+	if ctl := slow.CtlDown(link); len(ctl) != 0 {
+		t.Fatalf("ctlDown = %+v, want none (no withdrawal)", ctl)
+	}
+	if _, ok := slow.DetectionLatencyMin(link, 30); ok {
+		t.Fatal("undetected fault reported a detection latency")
+	}
+	// Unusable time is exactly the physical window: no control tail.
+	if got := slow.UnusableMinutes(link); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("UnusableMinutes = %v, want 0.1", got)
+	}
+
+	fast, err := Replay(tl, nil, Config{BFD: true}, 7, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs = fast.Outages(link)
+	if len(outs) != 1 || !outs[0].Detected || outs[0].Detector != DetectorBFD {
+		t.Fatalf("BFD outages = %+v, want one detected via bfd", outs)
+	}
+	if lat := outs[0].DetectAt - outs[0].Start; lat <= 0 || lat > (0.9+0.3)/60+1e-9 {
+		t.Fatalf("BFD detect latency %v min outside (0, 0.02]", lat)
+	}
+}
+
+// Overlapping fault events on one link merge into a single continuous
+// outage episode with one detection.
+func TestOverlappingFaultWindows(t *testing.T) {
+	topo, links := testTopo(t)
+	link := links["eye"]
+	tl := timeline(t, topo, [][3]float64{
+		{float64(link), 10, 20}, // [10, 30)
+		{float64(link), 20, 30}, // [20, 50) — overlaps
+		{float64(link), 50, 5},  // [50, 55) — touches
+	})
+	h, err := Replay(tl, nil, Config{}, 42, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := h.Outages(link)
+	if len(outs) != 1 {
+		t.Fatalf("outages = %+v, want one merged episode", outs)
+	}
+	o := outs[0]
+	if o.Start != 10 || o.End != 55 || !o.Detected || o.Flaps != 1 {
+		t.Fatalf("merged episode %+v", o)
+	}
+	if got := h.PhysDownMinutes(link); got != 45 {
+		t.Fatalf("PhysDownMinutes = %v, want 45", got)
+	}
+}
+
+// A flap sequence crossing the damping suppress threshold produces
+// emergent unreachability: the route stays suppressed long after the
+// link is physically healthy.
+func TestFlapStormCrossesSuppressThreshold(t *testing.T) {
+	topo, links := testTopo(t)
+	link := links["eye"]
+	// Five 2-minute outages spaced 2 minutes apart: every one is
+	// detected (120s >> 36s) and the penalty crosses 2000 on the third
+	// flap (1000 -> ~1830 -> ~2520 with the 15-min half-life).
+	var evs [][3]float64
+	for i := 0; i < 5; i++ {
+		evs = append(evs, [3]float64{float64(link), 10 + 4*float64(i), 2})
+	}
+	tl := timeline(t, topo, evs)
+	h, err := Replay(tl, nil, Config{}, 42, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Flaps(link); got != 5 {
+		t.Fatalf("flaps = %d, want 5", got)
+	}
+	outs := h.Outages(link)
+	if len(outs) == 0 {
+		t.Fatal("no outages")
+	}
+	last := outs[len(outs)-1]
+	if !last.Suppressed {
+		t.Fatalf("final episode %+v not suppressed", last)
+	}
+	if sup := h.Suppressed(link); len(sup) == 0 {
+		t.Fatal("no suppression span recorded")
+	}
+	swu := h.SuppressedWhileUpMinutes(link)
+	if swu < 10 {
+		t.Fatalf("SuppressedWhileUpMinutes = %v, want well over the physical downtime", swu)
+	}
+	// The suppression tail dominates the 10 physical down minutes.
+	if un := h.UnusableMinutes(link); un < 30 {
+		t.Fatalf("UnusableMinutes = %v, want dominated by suppression", un)
+	}
+	// With damping disabled the same storm causes no suppression and far
+	// less unusable time.
+	free, err := Replay(tl, nil, Config{DisableDamping: true}, 42, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := free.SuppressedWhileUpMinutes(link); got != 0 {
+		t.Fatalf("damping disabled but SuppressedWhileUp = %v", got)
+	}
+	if free.UnusableMinutes(link) >= h.UnusableMinutes(link) {
+		t.Fatalf("damping off (%v min) should be cheaper than on (%v min)",
+			free.UnusableMinutes(link), h.UnusableMinutes(link))
+	}
+}
+
+func TestReplayDeterministicAndSeedSensitive(t *testing.T) {
+	topo, links := testTopo(t)
+	link := links["eye"]
+	tl := timeline(t, topo, [][3]float64{
+		{float64(link), 10, 10},
+		{float64(links["trab"]), 30, 5},
+	})
+	a, err := Replay(tl, nil, Config{}, 42, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(tl, nil, Config{}, 42, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range a.Links() {
+		if !reflect.DeepEqual(a.Outages(l), b.Outages(l)) {
+			t.Fatalf("link %d outages differ across identical replays", l)
+		}
+		if !reflect.DeepEqual(a.Transitions(l), b.Transitions(l)) {
+			t.Fatalf("link %d transitions differ across identical replays", l)
+		}
+	}
+	// A different seed shifts the keepalive phase, so detection lands at
+	// a different instant.
+	c, err := Replay(tl, nil, Config{}, 1042, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outages(link)[0].DetectAt == c.Outages(link)[0].DetectAt {
+		t.Fatal("different seeds produced identical detection instants")
+	}
+	// Replaying an explicit subset matches the full replay on that link.
+	sub, err := Replay(tl, []int{link}, Config{}, 42, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sub.Outages(link), a.Outages(link)) {
+		t.Fatal("subset replay differs from full replay")
+	}
+}
+
+func TestBoundariesIncludeSessionEdges(t *testing.T) {
+	topo, links := testTopo(t)
+	link := links["eye"]
+	tl := timeline(t, topo, [][3]float64{{float64(link), 10, 10}})
+	h, err := Replay(tl, nil, Config{}, 42, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := h.Outages(link)[0]
+	bounds := h.Boundaries(0, 200)
+	want := map[float64]bool{10: false, 20: false, o.DetectAt: false, o.UsableAt: false}
+	for _, b := range bounds {
+		if _, ok := want[b]; ok {
+			want[b] = true
+		}
+	}
+	for v, seen := range want {
+		if !seen {
+			t.Fatalf("boundary %v missing from %v", v, bounds)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package beatbgp_test
+
+import (
+	"os"
+	"testing"
+
+	"beatbgp"
+)
+
+// TestStressSessionAcrossWorkers is the session layer's determinism
+// stress behind `make stress-session`: the flap-storm and
+// detection-sensitivity experiments — the two that replay per-link
+// session FSMs inside parallel sweeps — must render byte-identically at
+// workers 1 and 8, on a second same-seed world, and with BFD enabled.
+// The make target runs it under -race, so any cross-worker sharing in
+// the replay also trips the detector. Gated behind STRESS_SESSION=1
+// because it builds four full worlds.
+func TestStressSessionAcrossWorkers(t *testing.T) {
+	if os.Getenv("STRESS_SESSION") == "" {
+		t.Skip("set STRESS_SESSION=1 (or run `make stress-session`) to enable")
+	}
+	exps := []string{"xflap", "xdetect"}
+	run := func(cfg beatbgp.Config) map[string]string {
+		t.Helper()
+		s, err := beatbgp.NewScenario(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(exps))
+		for _, id := range exps {
+			r, err := beatbgp.Run(s, id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out[id] = r.Render()
+		}
+		return out
+	}
+	for _, bfd := range []bool{false, true} {
+		ref := facadeConfig(42)
+		ref.Workers = 1
+		ref.Session.BFD = bfd
+		want := run(ref)
+		wide := facadeConfig(42)
+		wide.Workers = 8
+		wide.Session.BFD = bfd
+		got := run(wide)
+		for _, id := range exps {
+			if got[id] != want[id] {
+				t.Errorf("bfd=%v %s: workers=8 output diverges from workers=1\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+					bfd, id, want[id], got[id])
+			}
+		}
+	}
+}
