@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-par race-session fuzz fuzz-par fuzz-session stress-par stress-session stress-harness verify bench bench-json clean
+.PHONY: all build vet fmt-check test race race-par race-session race-matbgp fuzz fuzz-par fuzz-session fuzz-matbgp stress-par stress-session stress-harness verify bench bench-json clean
 
 all: vet fmt-check build test
 
@@ -38,6 +38,15 @@ race-session:
 	$(GO) test -race ./internal/session/
 	$(GO) test -race -run 'TestDetectionStudyShape|TestFlapStormShape|TestSessionDifferentialMatchesClosedForm|TestSessionStudyDeterminism' ./internal/core/
 
+# Race-focused pass over the batch route engine: the class-column cache is
+# shared across oracle workers (PrimeOrigins fans ToOrigin misses over the
+# pool), so the differential suite runs under the detector, plus the
+# oracle's annotation paths and the cross-engine determinism gate.
+race-matbgp:
+	$(GO) test -race ./internal/matbgp/
+	$(GO) test -race -run 'TestPrimeOrigins' ./internal/bgp/
+	$(GO) test -race -run 'TestRenderDeterministicAcrossWorkers' .
+
 # Short fuzz pass over Config validation; raise FUZZTIME for a longer run.
 FUZZTIME ?= 10s
 fuzz:
@@ -53,6 +62,12 @@ fuzz-par:
 # full handshake.
 fuzz-session:
 	$(GO) test -run=^$$ -fuzz=FuzzFSMTransitions -fuzztime=$(FUZZTIME) ./internal/session/
+
+# Differential fuzz of the batch route engine against the recursive
+# reference: fuzzer-chosen announcement sets and failed links over small
+# worlds must produce bit-identical routes, offers, and error text.
+fuzz-matbgp:
+	$(GO) test -run=^$$ -fuzz=FuzzMatbgpVsOracle -fuzztime=$(FUZZTIME) ./internal/matbgp/
 
 # Deterministic stress: repeated randomized worker-count sweeps checked
 # against the serial oracle, with the race detector watching.
@@ -74,23 +89,25 @@ stress-harness:
 
 # The full pre-merge gate: formatting, static checks, build, the whole
 # test suite, and the race-focused parallel pass, in fail-fast order.
-verify: fmt-check vet build test race-par race-session
+verify: fmt-check vet build test race-par race-session race-matbgp
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Machine-readable benchmark baseline: BENCH_$(N).json records ns/op and
-# allocs for the root experiment suite, the parallel-runtime probes, and
-# the session-layer replay benchmarks. Bump N for each new baseline
-# (BENCH_1.json is the first committed one; BENCH_3.json adds the
-# session benchmarks).
-N ?= 3
+# allocs for the root experiment suite, the parallel-runtime probes, the
+# session-layer replay benchmarks, and the batch route engine at
+# internet scale (100k-AS all-pairs + compression). Bump N for each new
+# baseline (BENCH_1.json is the first committed one; BENCH_3.json adds
+# the session benchmarks; BENCH_4.json adds the matbgp engine).
+N ?= 4
 BENCHTIME ?= 1x
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	{ $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ . ; \
 	  $(GO) test -bench='EFTraceReplay|Fig3AnycastSweep|SiteDensitySweep' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/core/ ; \
-	  $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/session/ ; } \
+	  $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/session/ ; \
+	  $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/matbgp/ ; } \
 	  | /tmp/benchjson -o BENCH_$(N).json
 
 clean:

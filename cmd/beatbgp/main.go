@@ -5,7 +5,8 @@
 //
 //	beatbgp [-seed N] [-exp id[,id...]] [-list] [-days N] [-eyeballs N]
 //	        [-seeds N] [-timeout D] [-watchdog D] [-retries N] [-workers N]
-//	        [-run-dir DIR] [-resume DIR] [-hold SEC] [-bfd]
+//	        [-engine matbgp|oracle] [-run-dir DIR] [-resume DIR] [-hold SEC]
+//	        [-bfd]
 //
 // With no -exp, every registered experiment runs in the paper's order.
 // Every run is a supervised campaign over (experiment, seed) cells:
@@ -74,6 +75,7 @@ func run() error {
 		runDir   = flag.String("run-dir", "", "checkpoint directory: completed cells and the run manifest are persisted here")
 		resume   = flag.String("resume", "", "resume an interrupted campaign from this run directory (implies -run-dir)")
 		workers  = flag.Int("workers", 0, "parallel worker budget for sweeps and the experiment runner; 0 means GOMAXPROCS")
+		engine   = flag.String("engine", "", "route engine: matbgp (compact batch engine, the default) or oracle (recursive reference); outputs are bit-identical")
 		hold     = flag.Float64("hold", 0, "BGP hold timer in seconds for the session layer (keepalive scales to hold/3); 0 means the 36s default")
 		bfd      = flag.Bool("bfd", false, "enable BFD fast failure detection on every session (300ms x3 by default)")
 		bstats   = flag.Bool("buildstats", false, "print the scenario build report (per-stage wall time, rebuilt vs reused)")
@@ -131,7 +133,13 @@ func run() error {
 		}
 	}
 
-	cfg := beatbgp.Config{Seed: *seed, Workers: *workers}
+	switch *engine {
+	case "", "matbgp", "oracle":
+	default:
+		return fmt.Errorf("-engine must be \"matbgp\" or \"oracle\", got %q", *engine)
+	}
+
+	cfg := beatbgp.Config{Seed: *seed, Workers: *workers, Engine: *engine}
 	if *days > 0 {
 		cfg.Workload.Days = *days
 	}

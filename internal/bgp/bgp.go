@@ -14,6 +14,7 @@ package bgp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"beatbgp/internal/geo"
 	"beatbgp/internal/topology"
@@ -89,6 +90,14 @@ type RIB struct {
 	// suppressed records origin-side selective-announcement withdrawals,
 	// for the same reason.
 	suppressed map[int]map[int]bool // origin AS -> suppressed link IDs
+
+	// distMemo caches BestFrom's per-ingress geographic tie-break —
+	// srcCity<<32|link -> nearest-interconnect km. The value is a pure
+	// function of the topology, so memoization cannot change answers;
+	// per-hop re-selection (cdn.forwardRoute) asks for the same few
+	// (city, link) pairs across thousands of prefix samples.
+	distMu   sync.Mutex
+	distMemo map[int64]float64
 }
 
 // Best returns the AS's best route (Valid=false when unreachable).
@@ -144,6 +153,14 @@ func nearestInterconnectKm(t *topology.Topo, asID int, link int) float64 {
 		}
 	}
 	return best
+}
+
+// TieDistKm exposes the decision process's geographic tie-break metric —
+// the distance from the AS's home city to the nearest interconnection
+// city of the link — so alternate engines (internal/matbgp) can
+// precompute exactly the values better() would derive on the fly.
+func TieDistKm(t *topology.Topo, asID, link int) float64 {
+	return nearestInterconnectKm(t, asID, link)
 }
 
 // better reports whether candidate a should replace b at the given AS,
@@ -225,7 +242,22 @@ func ComputeWithout(t *topology.Topo, anns []Announcement, downLinks map[int]boo
 	// adopt offers route `cand` (already from the neighbor's perspective
 	// rewritten for `to`) and reports whether it improved.
 	adopt := func(to int, cand Route) bool {
-		if better(t, to, cand, rib.best[to]) {
+		cur := rib.best[to]
+		if better(t, to, cand, cur) {
+			rib.best[to] = cand
+			return true
+		}
+		// Implicit withdraw: a neighbor re-advertising over the same link
+		// replaces its previous copy even when preference ties, exactly as
+		// a fresh UPDATE on a real session supersedes the prior one. This
+		// matters when the neighbor's own best changed only in a tie-break
+		// (same source class and length): the adopter's choice is
+		// unchanged, but its path suffix must track the neighbor's current
+		// route, or downstream paths go stale.
+		if cand.Valid && cur.Valid && cand.Src == cur.Src &&
+			cand.Link == cur.Link && cand.NextHop == cur.NextHop &&
+			len(cand.Path) == len(cur.Path) &&
+			(!equalInts(cand.Path, cur.Path) || !equalInts(cand.Links, cur.Links)) {
 			rib.best[to] = cand
 			return true
 		}
@@ -394,12 +426,25 @@ func (r *RIB) BestFrom(asID, srcCity int) Route {
 	}
 	srcLoc := t.Catalog.City(srcCity).Loc
 	linkDist := func(link int) float64 {
-		d := math.Inf(1)
+		key := int64(srcCity)<<32 | int64(link)
+		r.distMu.Lock()
+		d, ok := r.distMemo[key]
+		r.distMu.Unlock()
+		if ok {
+			return d
+		}
+		d = math.Inf(1)
 		for _, c := range t.Links[link].Cities {
 			if v := geo.DistanceKm(srcLoc, t.Catalog.City(c).Loc); v < d {
 				d = v
 			}
 		}
+		r.distMu.Lock()
+		if r.distMemo == nil {
+			r.distMemo = make(map[int64]float64)
+		}
+		r.distMemo[key] = d
+		r.distMu.Unlock()
 		return d
 	}
 	var chosen Route
@@ -432,6 +477,18 @@ func (r *RIB) BestFrom(asID, srcCity int) Route {
 		return best
 	}
 	return chosen
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func loop(path []int, asID int) bool {

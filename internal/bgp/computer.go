@@ -1,0 +1,44 @@
+package bgp
+
+import "beatbgp/internal/topology"
+
+// Computer computes converged routing state for announcement sets. The
+// canonical implementation is the recursive reference in this package
+// (Compute/ComputeWithout); internal/matbgp provides a batch engine over
+// flat arrays that must agree with the reference bit for bit — the
+// differential unit and fuzz tests there are the contract. Callers that
+// hold a Computer (the oracle, the CDN, the fault studies) are engine
+// agnostic: swapping implementations must never change any output.
+type Computer interface {
+	// Compute returns the converged RIB for the announcement set.
+	Compute(anns []Announcement) (*RIB, error)
+	// ComputeWithout is Compute with a set of failed links excluded.
+	ComputeWithout(anns []Announcement, down map[int]bool) (*RIB, error)
+}
+
+// Reference is the Computer backed by the recursive per-prefix
+// propagation in this package. It is the differential-testing baseline
+// for every other engine.
+type Reference struct{ topo *topology.Topo }
+
+// NewReference returns the reference Computer over the topology.
+func NewReference(t *topology.Topo) *Reference { return &Reference{topo: t} }
+
+// Compute implements Computer.
+func (r *Reference) Compute(anns []Announcement) (*RIB, error) {
+	return Compute(r.topo, anns)
+}
+
+// ComputeWithout implements Computer.
+func (r *Reference) ComputeWithout(anns []Announcement, down map[int]bool) (*RIB, error) {
+	return ComputeWithout(r.topo, anns, down)
+}
+
+// NewRIB assembles a RIB from externally computed per-AS best routes; it
+// exists for alternate Computer implementations (internal/matbgp), which
+// materialize best-route arrays outside this package. best must hold one
+// entry per AS of the topology, down and suppressed carry the same
+// semantics as the fields ComputeWithout populates.
+func NewRIB(t *topology.Topo, best []Route, down map[int]bool, suppressed map[int]map[int]bool) *RIB {
+	return &RIB{topo: t, best: best, down: down, suppressed: suppressed}
+}

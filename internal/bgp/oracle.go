@@ -2,6 +2,8 @@ package bgp
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 
 	"beatbgp/internal/par"
@@ -20,14 +22,23 @@ import (
 // duplicate the propagation work.
 type Oracle struct {
 	topo *topology.Topo
+	comp Computer
 
 	mu    sync.RWMutex
 	plain map[int]*RIB
 }
 
-// NewOracle returns an oracle over the topology.
+// NewOracle returns an oracle over the topology, backed by the reference
+// engine.
 func NewOracle(t *topology.Topo) *Oracle {
-	return &Oracle{topo: t, plain: make(map[int]*RIB)}
+	return NewOracleWith(t, NewReference(t))
+}
+
+// NewOracleWith returns an oracle whose RIBs come from the given engine.
+// Engines are interchangeable by contract (bit-identical outputs), so
+// this only changes how fast the memo fills, never what it holds.
+func NewOracleWith(t *topology.Topo, comp Computer) *Oracle {
+	return &Oracle{topo: t, comp: comp, plain: make(map[int]*RIB)}
 }
 
 // Topo returns the underlying topology.
@@ -44,7 +55,7 @@ func (o *Oracle) ToOrigin(origin int) (*RIB, error) {
 	}
 	// Compute outside the lock: the RIB is a pure function of the origin,
 	// so a racing duplicate computation returns an identical value.
-	rib, err := Compute(o.topo, []Announcement{{Origin: origin}})
+	rib, err := o.comp.Compute([]Announcement{{Origin: origin}})
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +78,13 @@ func (o *Oracle) ToPrefix(p topology.Prefix) (*RIB, error) {
 // worker pool (duplicates are computed once) and installs them in the
 // memo, so subsequent ToOrigin calls are read-only lookups. Origins
 // already resident are skipped.
+//
+// Error contract, matching core.RunManyParallelContext: a real
+// computation failure is returned as-is. When the caller's context is
+// cancelled mid-prime, the bare cancellation would mask what was going
+// on, so it is annotated — with the first origin that had already failed
+// for a real reason if there is one, otherwise with the first origin
+// whose RIB never finished.
 func (o *Oracle) PrimeOrigins(ctx context.Context, workers int, origins []int) error {
 	var missing []int
 	seen := make(map[int]bool, len(origins))
@@ -81,10 +99,35 @@ func (o *Oracle) PrimeOrigins(ctx context.Context, workers int, origins []int) e
 	if len(missing) == 0 {
 		return nil
 	}
-	ribs, err := par.MapCtx(ctx, workers, missing, func(_ int, origin int) (*RIB, error) {
-		return Compute(o.topo, []Announcement{{Origin: origin}})
+	var failMu sync.Mutex
+	failOrigin, failErr := -1, error(nil)
+	done := make([]bool, len(missing))
+	ribs, err := par.MapCtx(ctx, workers, missing, func(i int, origin int) (*RIB, error) {
+		rib, err := o.comp.Compute([]Announcement{{Origin: origin}})
+		switch {
+		case err == nil:
+			done[i] = true
+		case !isCtxErr(err):
+			failMu.Lock()
+			if failErr == nil {
+				failOrigin, failErr = origin, err
+			}
+			failMu.Unlock()
+		}
+		return rib, err
 	})
 	if err != nil {
+		if isCtxErr(err) {
+			// MapCtx has joined every worker, so done/failErr are settled.
+			if failErr != nil && !errors.Is(err, failErr) {
+				return fmt.Errorf("%w (first failure: origin %d: %v)", err, failOrigin, failErr)
+			}
+			for i, origin := range missing {
+				if !done[i] {
+					return fmt.Errorf("%w (first unfinished origin: %d)", err, origin)
+				}
+			}
+		}
 		return err
 	}
 	o.mu.Lock()
@@ -95,4 +138,10 @@ func (o *Oracle) PrimeOrigins(ctx context.Context, workers int, origins []int) e
 	}
 	o.mu.Unlock()
 	return nil
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline error rather than a routing-computation failure.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -117,21 +117,38 @@ type CDN struct {
 
 	siteByAS map[int]int
 	resolver *netpath.Resolver
+	comp     bgp.Computer
 
 	mu         sync.RWMutex
 	anycastRIB *bgp.RIB   // cache for ungroomed anycast
 	unicastRIB []*bgp.RIB // cache per site
+
+	// physCache memoizes each prefix's resolved physical route to each
+	// site, keyed site<<32|prefixID. Unicast routes are time-invariant
+	// (only link latencies move), so the walk and resolution happen once
+	// per (site, prefix) instead of once per RTT sample.
+	physMu    sync.RWMutex
+	physCache map[int64]netpath.Route
 }
+
+// UseEngine selects the route computation engine behind the RIB caches.
+// Engines are interchangeable by contract (bit-identical RIBs; see
+// bgp.Computer), so this changes speed, never answers. Call it right
+// after Build, before any query warms a cache; the engine must have been
+// lowered from this CDN's (final) topology.
+func (c *CDN) UseEngine(comp bgp.Computer) { c.comp = comp }
 
 // Build places the CDN's site ASes into the topology (mutating it).
 func Build(t *topology.Topo, cfg Config) (*CDN, error) {
 	cfg.setDefaults()
 	rng := xrand.New(cfg.Seed ^ 0xCD4)
 	c := &CDN{
-		Topo:     t,
-		ServerMs: cfg.ServerMs,
-		siteByAS: make(map[int]int),
-		resolver: netpath.NewResolver(t),
+		Topo:      t,
+		ServerMs:  cfg.ServerMs,
+		siteByAS:  make(map[int]int),
+		resolver:  netpath.NewResolver(t),
+		comp:      bgp.NewReference(t),
+		physCache: make(map[int64]netpath.Route),
 	}
 	catalog := t.Catalog
 	asn := cfg.BaseASN
@@ -317,7 +334,7 @@ func (c *CDN) AnycastRIB(g *Grooming) (*bgp.RIB, error) {
 	}
 	// Compute outside the lock: the RIB is a pure function of the
 	// announcement set, so a racing duplicate is identical.
-	rib, err := bgp.Compute(c.Topo, anns)
+	rib, err := c.comp.Compute(anns)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +361,7 @@ func (c *CDN) UnicastRIB(site int) (*bgp.RIB, error) {
 	if rib != nil {
 		return rib, nil
 	}
-	rib, err := bgp.Compute(c.Topo, []bgp.Announcement{{Origin: c.Sites[site].AS.ID}})
+	rib, err := c.comp.Compute([]bgp.Announcement{{Origin: c.Sites[site].AS.ID}})
 	if err != nil {
 		return nil, err
 	}
@@ -468,19 +485,46 @@ func (c *CDN) Catchment(p topology.Prefix, g *Grooming) (int, error) {
 // UnicastRTT measures the prefix's latency to one specific site at time t
 // (request RTT: client -> site, plus server processing).
 func (c *CDN) UnicastRTT(sim *netsim.Sim, p topology.Prefix, site int, t float64) (float64, error) {
-	rib, err := c.UnicastRIB(site)
-	if err != nil {
-		return 0, err
-	}
-	r, err := c.forwardRoute(rib, p.Origin, p.City)
-	if err != nil {
-		return 0, fmt.Errorf("cdn: prefix %d cannot reach site %d: %w", p.ID, site, err)
-	}
-	phys, err := c.resolver.Resolve(r, p.City, c.Sites[site].City)
+	phys, err := c.unicastPhys(p, site)
 	if err != nil {
 		return 0, err
 	}
 	return sim.RouteRTTMs(phys, p, t) + c.ServerMs, nil
+}
+
+// unicastPhys returns the prefix's resolved physical route to the site,
+// memoized: the forwarding walk and path resolution are pure functions of
+// the (immutable) unicast RIB, so only the first sample per (site,
+// prefix) pays for them. The grooming sweeps hammer this with thousands
+// of (prefix, time) pairs per site.
+func (c *CDN) unicastPhys(p topology.Prefix, site int) (netpath.Route, error) {
+	key := int64(site)<<32 | int64(p.ID)
+	c.physMu.RLock()
+	phys, ok := c.physCache[key]
+	c.physMu.RUnlock()
+	if ok {
+		return phys, nil
+	}
+	rib, err := c.UnicastRIB(site)
+	if err != nil {
+		return netpath.Route{}, err
+	}
+	r, err := c.forwardRoute(rib, p.Origin, p.City)
+	if err != nil {
+		return netpath.Route{}, fmt.Errorf("cdn: prefix %d cannot reach site %d: %w", p.ID, site, err)
+	}
+	phys, err = c.resolver.Resolve(r, p.City, c.Sites[site].City)
+	if err != nil {
+		return netpath.Route{}, err
+	}
+	c.physMu.Lock()
+	if prior, ok := c.physCache[key]; ok {
+		phys = prior // keep the first-installed route stable
+	} else {
+		c.physCache[key] = phys
+	}
+	c.physMu.Unlock()
+	return phys, nil
 }
 
 // AnycastRTT measures the prefix's latency over the anycast prefix at
@@ -497,19 +541,31 @@ func (c *CDN) AnycastRTT(sim *netsim.Sim, p topology.Prefix, g *Grooming, t floa
 // anycast RIB — callers sweeping grooming configurations compute the RIB
 // once and reuse it across prefixes and times.
 func (c *CDN) RTTViaRIB(sim *netsim.Sim, rib *bgp.RIB, p topology.Prefix, t float64) (float64, int, error) {
-	r, err := c.forwardRoute(rib, p.Origin, p.City)
-	if err != nil {
-		return 0, 0, fmt.Errorf("cdn: prefix %d cannot reach the anycast prefix: %w", p.ID, err)
-	}
-	site, ok := c.siteByAS[r.Origin()]
-	if !ok {
-		return 0, 0, fmt.Errorf("cdn: anycast route ends at non-site AS %d", r.Origin())
-	}
-	phys, err := c.resolver.Resolve(r, p.City, c.Sites[site].City)
+	phys, site, err := c.PhysViaRIB(rib, p)
 	if err != nil {
 		return 0, 0, err
 	}
 	return sim.RouteRTTMs(phys, p, t) + c.ServerMs, site, nil
+}
+
+// PhysViaRIB resolves the prefix's anycast forwarding walk under the RIB
+// into a physical route and its catchment site. The result is independent
+// of time, so callers sampling many time points (the grooming sweep)
+// resolve once per prefix and pay only Sim.RouteRTTMs per sample.
+func (c *CDN) PhysViaRIB(rib *bgp.RIB, p topology.Prefix) (netpath.Route, int, error) {
+	r, err := c.forwardRoute(rib, p.Origin, p.City)
+	if err != nil {
+		return netpath.Route{}, 0, fmt.Errorf("cdn: prefix %d cannot reach the anycast prefix: %w", p.ID, err)
+	}
+	site, ok := c.siteByAS[r.Origin()]
+	if !ok {
+		return netpath.Route{}, 0, fmt.Errorf("cdn: anycast route ends at non-site AS %d", r.Origin())
+	}
+	phys, err := c.resolver.Resolve(r, p.City, c.Sites[site].City)
+	if err != nil {
+		return netpath.Route{}, 0, err
+	}
+	return phys, site, nil
 }
 
 // NearestSites returns the k sites geodesically closest to the prefix's

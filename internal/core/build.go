@@ -15,6 +15,7 @@ import (
 	"beatbgp/internal/bgp"
 	"beatbgp/internal/cdn"
 	"beatbgp/internal/dnsmap"
+	"beatbgp/internal/matbgp"
 	"beatbgp/internal/netpath"
 	"beatbgp/internal/netsim"
 	"beatbgp/internal/provider"
@@ -323,14 +324,26 @@ func build(ctx context.Context, norm, user Config, prev *Scenario) (*Scenario, e
 	}
 
 	if err := stage(StageCDN, s.keys.cdn, prevKeys.cdn,
-		func() { s.Topo, s.CDN = prev.Topo, prev.CDN },
+		// Reusing the CDN stage shares the donor's engine too: the topology
+		// is the same, engines are bit-identical by contract, and lowering
+		// the batch engine again would redo the compression work for the
+		// same answers. Like Workers, a Config.Engine change alone does not
+		// invalidate any stage.
+		func() { s.Topo, s.CDN, s.Routes = prev.Topo, prev.CDN, prev.Routes },
 		func() error {
 			t := s.provTopo.Clone()
 			c, err := cdn.Build(t, norm.CDN)
 			if err != nil {
 				return fmt.Errorf("core: cdn: %w", err)
 			}
-			s.Topo, s.CDN = t, c
+			// The topology is final after the CDN build, so this is the
+			// earliest point the route engine can be lowered from it.
+			r, err := newComputer(norm.Engine, t)
+			if err != nil {
+				return fmt.Errorf("core: route engine: %w", err)
+			}
+			c.UseEngine(r)
+			s.Topo, s.CDN, s.Routes = t, c, r
 			return nil
 		}); err != nil {
 		return nil, err
@@ -352,7 +365,9 @@ func build(ctx context.Context, norm, user Config, prev *Scenario) (*Scenario, e
 	if err := stage(StageOracle, s.keys.oracle, prevKeys.oracle,
 		func() { s.Oracle = prev.Oracle },
 		func() error {
-			s.Oracle = bgp.NewOracle(s.Topo)
+			// The oracle keys on the CDN stage, so s.Routes is always the
+			// engine lowered from (or donated with) this exact topology.
+			s.Oracle = bgp.NewOracleWith(s.Topo, s.Routes)
 			return nil
 		}); err != nil {
 		return nil, err
@@ -385,4 +400,16 @@ func build(ctx context.Context, norm, user Config, prev *Scenario) (*Scenario, e
 
 	s.report.Wall = time.Since(start)
 	return s, nil
+}
+
+// newComputer lowers the route engine named by Config.Engine from the
+// finished topology. "matbgp" is the compact batch engine; "oracle" keeps
+// the recursive reference implementation as the differential baseline.
+func newComputer(engine string, t *topology.Topo) (bgp.Computer, error) {
+	switch engine {
+	case "oracle":
+		return bgp.NewReference(t), nil
+	default: // "matbgp", the setDefaults default
+		return matbgp.NewEngine(t)
+	}
 }

@@ -32,11 +32,11 @@ func (s *Scenario) tiers() (*tierState, error) {
 	if s.tier != nil {
 		return s.tier, nil
 	}
-	premRIB, err := bgp.Compute(s.Topo, []bgp.Announcement{s.Prov.PremiumAnnouncement()})
+	premRIB, err := s.Routes.Compute([]bgp.Announcement{s.Prov.PremiumAnnouncement()})
 	if err != nil {
 		return nil, err
 	}
-	stdRIB, err := bgp.Compute(s.Topo, []bgp.Announcement{s.Prov.StandardAnnouncement()})
+	stdRIB, err := s.Routes.Compute([]bgp.Announcement{s.Prov.StandardAnnouncement()})
 	if err != nil {
 		return nil, err
 	}

@@ -53,6 +53,15 @@ type Config struct {
 	// negative means GOMAXPROCS. Results are bit-identical at any worker
 	// count — see internal/par and DESIGN.md "Parallel runtime".
 	Workers int
+
+	// Engine selects the route-computation engine behind Scenario.Routes
+	// and the BGP oracle: "matbgp" (the default; the compact batch engine
+	// of internal/matbgp) or "oracle" (the recursive reference engine of
+	// internal/bgp, kept as the differential baseline). The engines are
+	// bit-identical by contract — FuzzMatbgpVsOracle and the determinism
+	// tests enforce it — so, like Workers, Engine never changes what is
+	// computed and is deliberately excluded from WorldKey.
+	Engine string
 }
 
 func (c *Config) setDefaults() {
@@ -83,6 +92,9 @@ func (c *Config) setDefaults() {
 	// equal world keys regardless of which zero fields the caller left.
 	c.Convergence = c.Convergence.ApplyDefaults()
 	c.Session = c.Session.ApplyDefaults()
+	if c.Engine == "" {
+		c.Engine = "matbgp"
+	}
 }
 
 // Validate checks every sub-configuration, rejecting nonsensical
@@ -115,6 +127,11 @@ func (c *Config) Validate() error {
 	if err := c.Session.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	switch c.Engine {
+	case "", "matbgp", "oracle":
+	default:
+		return fmt.Errorf("core: unknown route engine %q (want \"matbgp\" or \"oracle\")", c.Engine)
+	}
 	return nil
 }
 
@@ -132,6 +149,12 @@ type Scenario struct {
 	Oracle *bgp.Oracle
 	Res    *netpath.Resolver
 	Gen    *workload.Generator
+
+	// Routes is the route-computation engine selected by Config.Engine,
+	// lowered from the finished topology. The Oracle memoizes through it,
+	// and experiments that need ad-hoc RIBs (groomed announcements, failed
+	// links) call it directly instead of the package-level bgp helpers.
+	Routes bgp.Computer
 
 	// userCfg is the caller's config before setDefaults, kept so Derive
 	// can re-run seed derivation centrally when Config.Seed changes.

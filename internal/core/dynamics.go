@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 
-	"beatbgp/internal/bgp"
 	"beatbgp/internal/cdn"
 	"beatbgp/internal/stats"
 )
@@ -52,7 +51,7 @@ func SiteOutageStudy(s *Scenario) (Result, error) {
 		for _, nb := range s.Topo.Neighbors(s.CDN.Sites[site].AS.ID) {
 			down[nb.Link] = true
 		}
-		postRIB, err := bgp.ComputeWithout(s.Topo, s.CDN.Announcements(nil), down)
+		postRIB, err := s.Routes.ComputeWithout(s.CDN.Announcements(nil), down)
 		if err != nil {
 			return Result{}, err
 		}

@@ -81,12 +81,15 @@ func GroomingStudy(s *Scenario) (Result, error) {
 		}
 		var diff stats.Dist
 		for _, p := range s.Topo.Prefixes {
+			// The forwarding walk and path resolution are time-independent:
+			// resolve once per prefix, then sample the simulator per time.
+			phys, _, err := s.CDN.PhysViaRIB(rib, p)
+			if err != nil {
+				continue
+			}
 			nearest := s.CDN.NearestSites(p, nearbyUnicastCount)
 			for _, t := range times {
-				any, _, err := s.CDN.RTTViaRIB(s.Sim, rib, p, t)
-				if err != nil {
-					continue
-				}
+				any := s.Sim.RouteRTTMs(phys, p, t) + s.CDN.ServerMs
 				best := math.Inf(1)
 				for _, site := range nearest {
 					if rtt, err := s.CDN.UnicastRTT(s.Sim, p, site, t); err == nil && rtt < best {

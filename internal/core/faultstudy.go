@@ -450,7 +450,7 @@ func AnycastFaultAvailability(s *Scenario) (Result, error) {
 		if len(downE) == 0 {
 			continue
 		}
-		postRIB, err := bgp.ComputeWithout(s.Topo, s.CDN.Announcements(nil), downE)
+		postRIB, err := s.Routes.ComputeWithout(s.CDN.Announcements(nil), downE)
 		if err != nil {
 			return Result{}, err
 		}

@@ -1,0 +1,271 @@
+package matbgp
+
+import (
+	"fmt"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/topology"
+)
+
+// Packed column word layout: bits 0..19 next hop, 20..29 path length,
+// 30..31 relation class (bgp.Source values: origin=0, customer=1,
+// peer=2, provider=3). A zero word (length 0) means unreachable.
+const (
+	nhBits  = 20
+	nhMask  = 1<<nhBits - 1
+	lenBits = 10
+	lenMask = 1<<lenBits - 1
+)
+
+func packWord(rel uint8, ln, nh int32) uint32 {
+	return uint32(nh) | uint32(ln)<<nhBits | uint32(rel)<<(nhBits+lenBits)
+}
+
+func unpackWord(w uint32) (rel uint8, ln, nh int32) {
+	return uint8(w >> (nhBits + lenBits)), int32(w >> nhBits & lenMask), int32(w & nhMask)
+}
+
+// Relation classes during propagation, ordered like bgp.Source. relNone
+// marks an unrouted AS.
+const (
+	relOrigin   = uint8(bgp.SrcOrigin)
+	relCustomer = uint8(bgp.SrcCustomer)
+	relPeer     = uint8(bgp.SrcPeer)
+	relProvider = uint8(bgp.SrcProvider)
+	relNone     = uint8(0xFF)
+)
+
+// cand is one route offer awaiting an adopter's decision. All fields are
+// from the adopter's perspective; ln is the candidate's path length.
+type cand struct {
+	to, nh, link, asn, ln int32
+	dist                  float64
+}
+
+// candLess orders same-length candidates by the decision process's
+// tie-breaks: nearest interconnect, then lowest neighbor ASN, then lowest
+// link ID (the reference engine's first-offered-wins order, since a
+// pusher offers its parallel links in ascending link order).
+func candLess(a, b cand) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if a.asn != b.asn {
+		return a.asn < b.asn
+	}
+	return a.link < b.link
+}
+
+// colState is the per-column propagation scratch; one word per AS plus
+// the transient link/dist needed for wave selection.
+type colState struct {
+	rel  []uint8
+	ln   []int32
+	nh   []int32
+	link []int32
+
+	// wave-selection scratch
+	mark  []int32 // wave stamp of the pending candidate, -1 when none
+	best  []cand  // best pending candidate at the stamped wave
+	order []int32 // ASes with pending candidates, first-seen order
+}
+
+func newColState(n int) *colState {
+	s := &colState{
+		rel:  make([]uint8, n),
+		ln:   make([]int32, n),
+		nh:   make([]int32, n),
+		link: make([]int32, n),
+		mark: make([]int32, n),
+		best: make([]cand, n),
+	}
+	for i := range s.rel {
+		s.rel[i] = relNone
+		s.mark[i] = -1
+	}
+	return s
+}
+
+// column runs the three valley-free phases for one announcement set and
+// returns the packed result, one word per AS. Errors match the reference
+// engine's (bgp.ComputeWithout) byte for byte.
+func (g *Graph) column(anns []bgp.Announcement, down map[int]bool) ([]uint32, error) {
+	if len(anns) == 0 {
+		return nil, fmt.Errorf("bgp: no announcements")
+	}
+	s := newColState(g.n)
+	isDown := func(link int32) bool { return down != nil && down[int(link)] }
+	// Origin-side selective announcement, keyed by origin AS.
+	var suppress map[int32]map[int]bool
+	suppressed := func(as, link int32) bool {
+		if suppress == nil || s.rel[as] != relOrigin {
+			return false
+		}
+		return suppress[as][int(link)]
+	}
+
+	for _, a := range anns {
+		if a.Origin < 0 || a.Origin >= g.n {
+			return nil, fmt.Errorf("bgp: origin %d out of range", a.Origin)
+		}
+		o := int32(a.Origin)
+		if s.rel[o] != relNone {
+			return nil, fmt.Errorf("bgp: duplicate origin %d", a.Origin)
+		}
+		ln := int32(1 + a.Prepend)
+		if ln < 1 || ln > maxPathLen {
+			return nil, fmt.Errorf("matbgp: origin %d prepend %d exceeds the %d-hop path capacity",
+				a.Origin, a.Prepend, maxPathLen)
+		}
+		s.rel[o], s.ln[o], s.nh[o], s.link[o] = relOrigin, ln, o, -1
+		if len(a.SuppressLinks) > 0 {
+			if suppress == nil {
+				suppress = make(map[int32]map[int]bool)
+			}
+			suppress[o] = a.SuppressLinks
+		}
+	}
+
+	// Buckets of candidates indexed by path length; waves settle in
+	// ascending length so every adopter sees all of its shortest-length
+	// offers before deciding, reproducing the reference fixpoint.
+	var buckets [][]cand
+	enqueue := func(c cand) {
+		for int(c.ln) >= len(buckets) {
+			buckets = append(buckets, nil)
+		}
+		buckets[c.ln] = append(buckets[c.ln], c)
+	}
+	// push offers v's settled route over its adjacencies of the given
+	// view, honoring origin-side suppression and failed links.
+	push := func(v int32, view uint8) error {
+		nl := s.ln[v] + 1
+		if nl > maxPathLen {
+			return fmt.Errorf("matbgp: path length beyond %d hops", maxPathLen)
+		}
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			if g.adjView[i] != view || isDown(g.adjLink[i]) || suppressed(v, g.adjLink[i]) {
+				continue
+			}
+			to := g.adjOther[i]
+			enqueue(cand{
+				to: to, nh: v, link: g.adjLink[i], asn: g.asn[v], ln: nl,
+				dist: g.adjDist[g.adjRev[i]],
+			})
+		}
+		return nil
+	}
+	// settleWaves drains the buckets in ascending length, settling each
+	// adopter on its best same-length candidate and pushing onward with
+	// the given view. Newly settled ASes adopt `rel`.
+	settleWaves := func(rel uint8, view uint8) error {
+		for wl := 0; wl < len(buckets); wl++ {
+			pend := buckets[wl]
+			if len(pend) == 0 {
+				continue
+			}
+			s.order = s.order[:0]
+			for _, c := range pend {
+				if s.rel[c.to] != relNone {
+					continue // settled at a shorter length or better class
+				}
+				if s.mark[c.to] != int32(wl) {
+					s.mark[c.to] = int32(wl)
+					s.best[c.to] = c
+					s.order = append(s.order, c.to)
+				} else if candLess(c, s.best[c.to]) {
+					s.best[c.to] = c
+				}
+			}
+			for _, to := range s.order {
+				c := s.best[to]
+				s.rel[to], s.ln[to], s.nh[to], s.link[to] = rel, c.ln, c.nh, c.link
+				if err := push(to, view); err != nil {
+					return err
+				}
+			}
+			buckets[wl] = pend[:0]
+		}
+		return nil
+	}
+
+	// Phase 1 — customer routes flow upward, settling by path length.
+	for _, a := range anns {
+		if err := push(int32(a.Origin), uint8(topology.ViewProvider)); err != nil {
+			return nil, err
+		}
+	}
+	if err := settleWaves(relCustomer, uint8(topology.ViewProvider)); err != nil {
+		return nil, err
+	}
+
+	// Phase 2 — peer routes travel exactly one peer hop: collect every
+	// offer from the customer-routed (and origin) ASes, then let each
+	// unrouted AS pick its best by (length, distance, ASN, link).
+	var peerCands []cand
+	for v := int32(0); v < int32(g.n); v++ {
+		if s.rel[v] > relCustomer {
+			continue
+		}
+		nl := s.ln[v] + 1
+		if nl > maxPathLen {
+			return nil, fmt.Errorf("matbgp: path length beyond %d hops", maxPathLen)
+		}
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			if g.adjView[i] != uint8(topology.ViewPeer) || isDown(g.adjLink[i]) || suppressed(v, g.adjLink[i]) {
+				continue
+			}
+			peerCands = append(peerCands, cand{
+				to: g.adjOther[i], nh: v, link: g.adjLink[i], asn: g.asn[v], ln: nl,
+				dist: g.adjDist[g.adjRev[i]],
+			})
+		}
+	}
+	s.order = s.order[:0]
+	for _, c := range peerCands {
+		if s.rel[c.to] != relNone {
+			continue // customer routes and origins always beat peer offers
+		}
+		if s.mark[c.to] != -2 {
+			s.mark[c.to] = -2
+			s.best[c.to] = c
+			s.order = append(s.order, c.to)
+			continue
+		}
+		b := s.best[c.to]
+		if c.ln != b.ln {
+			if c.ln < b.ln {
+				s.best[c.to] = c
+			}
+		} else if candLess(c, b) {
+			s.best[c.to] = c
+		}
+	}
+	for _, to := range s.order {
+		c := s.best[to]
+		s.rel[to], s.ln[to], s.nh[to], s.link[to] = relPeer, c.ln, c.nh, c.link
+	}
+
+	// Phase 3 — provider routes flow downward: every routed AS exports to
+	// its customers, and newly routed customers keep pushing down.
+	for v := int32(0); v < int32(g.n); v++ {
+		if s.rel[v] == relNone {
+			continue
+		}
+		if err := push(v, uint8(topology.ViewCustomer)); err != nil {
+			return nil, err
+		}
+	}
+	if err := settleWaves(relProvider, uint8(topology.ViewCustomer)); err != nil {
+		return nil, err
+	}
+
+	col := make([]uint32, g.n)
+	for v := 0; v < g.n; v++ {
+		if s.rel[v] == relNone {
+			continue
+		}
+		col[v] = packWord(s.rel[v], s.ln[v], s.nh[v])
+	}
+	return col, nil
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// referenceMedianCI is the pre-optimization bootstrap, kept verbatim as
+// the differential reference: it materializes every resampled
+// distribution and takes its weighted median. The production MedianCI
+// replaces that with an order-statistic selection over the drawn
+// uniforms; the two must agree bit for bit because they consume the same
+// generator stream and the uniform-to-value map is monotone.
+func referenceMedianCI(d *Dist, level float64) (lo, hi float64) {
+	n := len(d.samples)
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if n < 5 {
+		return d.Min(), d.Max()
+	}
+	const resamples = 200
+	meds := make([]float64, 0, resamples)
+	state := uint64(n)*2654435761 + 0x9e3779b9
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 11
+	}
+	d.ensureSorted()
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, s := range d.samples {
+		acc += s.Weight
+		cum[i] = acc
+	}
+	for r := 0; r < resamples; r++ {
+		var re Dist
+		for k := 0; k < n; k++ {
+			u := float64(next()%(1<<52)) / (1 << 52) * acc
+			idx := sort.SearchFloat64s(cum, u)
+			if idx >= n {
+				idx = n - 1
+			}
+			re.Add(d.samples[idx].Value, 1)
+		}
+		meds = append(meds, re.Median())
+	}
+	sort.Float64s(meds)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return meds[loIdx], meds[hiIdx]
+}
+
+func TestMedianCIMatchesReference(t *testing.T) {
+	// A deterministic value/weight stream independent of the CI's own
+	// generator, covering ties, skew, and weighted mass.
+	gen := uint64(0x1234_5678_9abc_def0)
+	next := func() float64 {
+		gen = gen*6364136223846793005 + 1442695040888963407
+		return float64(gen>>11) / (1 << 53)
+	}
+	for _, n := range []int{5, 6, 7, 16, 33, 100, 257, 1000} {
+		for _, weighted := range []bool{false, true} {
+			for _, level := range []float64{0.90, 0.95, 0.99} {
+				var d Dist
+				for i := 0; i < n; i++ {
+					v := math.Floor(next()*40) * 2.5 // coarse grid forces value ties
+					w := 1.0
+					if weighted {
+						w = 0.25 + 10*next()
+					}
+					d.Add(v, w)
+				}
+				wantLo, wantHi := referenceMedianCI(&d, level)
+				gotLo, gotHi := d.MedianCI(level)
+				if gotLo != wantLo || gotHi != wantHi {
+					t.Fatalf("n=%d weighted=%v level=%v: MedianCI=(%v,%v) reference=(%v,%v)",
+						n, weighted, level, gotLo, gotHi, wantLo, wantHi)
+				}
+			}
+		}
+	}
+}
+
+func TestMedianCIDegenerateCases(t *testing.T) {
+	var empty Dist
+	lo, hi := empty.MedianCI(0.95)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatalf("empty dist: got (%v, %v), want NaNs", lo, hi)
+	}
+	var tiny Dist
+	tiny.AddAll(3, 1, 2)
+	lo, hi = tiny.MedianCI(0.95)
+	if lo != 1 || hi != 3 {
+		t.Fatalf("tiny dist: got (%v, %v), want (1, 3)", lo, hi)
+	}
+}
+
+func TestSelectKth(t *testing.T) {
+	gen := uint64(99)
+	next := func() float64 {
+		gen = gen*6364136223846793005 + 1442695040888963407
+		return float64(gen>>11) / (1 << 53)
+	}
+	for _, n := range []int{1, 2, 3, 10, 101} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Floor(next() * 10) // plenty of duplicates
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for k := 0; k < n; k++ {
+			scratch := append([]float64(nil), vals...)
+			if got := selectKth(scratch, k); got != sorted[k] {
+				t.Fatalf("n=%d k=%d: got %v want %v", n, k, got, sorted[k])
+			}
+		}
+	}
+}

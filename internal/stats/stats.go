@@ -213,17 +213,27 @@ func (d *Dist) MedianCI(level float64) (lo, hi float64) {
 		acc += s.Weight
 		cum[i] = acc
 	}
+	// Each resample draws n uniforms; the resampled median is the k-th
+	// smallest drawn value with k = ceil(n/2) (unit weights make the
+	// weighted Quantile(0.5) scan stop at the first 1-based rank reaching
+	// n/2). The map from a uniform u to its sample value — binary search
+	// in cum, then the value at that index of the sorted samples — is
+	// monotone non-decreasing, so order statistics commute with it:
+	// selecting the k-th smallest u and mapping it once yields exactly
+	// the median that materializing, sorting, and scanning the whole
+	// resampled distribution would.
+	k := (n + 1) / 2
+	us := make([]float64, n)
 	for r := 0; r < resamples; r++ {
-		var re Dist
-		for k := 0; k < n; k++ {
-			u := float64(next()%(1<<52)) / (1 << 52) * acc
-			idx := sort.SearchFloat64s(cum, u)
-			if idx >= n {
-				idx = n - 1
-			}
-			re.Add(d.samples[idx].Value, 1)
+		for i := 0; i < n; i++ {
+			us[i] = float64(next()%(1<<52)) / (1 << 52) * acc
 		}
-		meds = append(meds, re.Median())
+		u := selectKth(us, k-1)
+		idx := sort.SearchFloat64s(cum, u)
+		if idx >= n {
+			idx = n - 1
+		}
+		meds = append(meds, d.samples[idx].Value)
 	}
 	sort.Float64s(meds)
 	alpha := (1 - level) / 2
@@ -233,6 +243,50 @@ func (d *Dist) MedianCI(level float64) (lo, hi float64) {
 		hiIdx = resamples - 1
 	}
 	return meds[loIdx], meds[hiIdx]
+}
+
+// selectKth returns the k-th smallest element (0-based) of a, reordering
+// a in place: Hoare partitioning with a median-of-three pivot, so the
+// pseudo-random bootstrap draws select in linear expected time without
+// consuming any randomness of their own.
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		p := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
+		}
+	}
+	return a[lo]
 }
 
 // Summary holds the common descriptive statistics of a distribution.
