@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-par race-session race-matbgp fuzz fuzz-par fuzz-session fuzz-matbgp stress-par stress-session stress-harness verify bench bench-json clean
+.PHONY: all build vet fmt-check test race race-par race-session race-matbgp race-delta fuzz fuzz-par fuzz-session fuzz-matbgp fuzz-delta stress-par stress-session stress-harness verify bench bench-json clean
 
 all: vet fmt-check build test
 
@@ -47,6 +47,17 @@ race-matbgp:
 	$(GO) test -race -run 'TestPrimeOrigins' ./internal/bgp/
 	$(GO) test -race -run 'TestRenderDeterministicAcrossWorkers' .
 
+# Race-focused pass over the incremental-repair stack: the delta
+# vocabulary, the matbgp repair differential suite (repaired columns vs
+# full rebuild), the cdn epoch layer (repair chains + epoch caches
+# shared behind one mutex), and the core epoch acceptance gate (xfaults/
+# xflap sequences bit-identical to rebuilds at workers 1/2/8).
+race-delta:
+	$(GO) test -race ./internal/delta/
+	$(GO) test -race -run 'TestRepair|TestRibRepairer|TestStartRepair' ./internal/matbgp/
+	$(GO) test -race -run 'TestEpoch' ./internal/cdn/
+	$(GO) test -race -run 'TestEpochRepairBitIdenticalAcrossWorkers|TestRepairWalkerMatchesRebuild|TestFaultEpochsMemoized' ./internal/core/
+
 # Short fuzz pass over Config validation; raise FUZZTIME for a longer run.
 FUZZTIME ?= 10s
 fuzz:
@@ -69,6 +80,13 @@ fuzz-session:
 fuzz-matbgp:
 	$(GO) test -run=^$$ -fuzz=FuzzMatbgpVsOracle -fuzztime=$(FUZZTIME) ./internal/matbgp/
 
+# Differential fuzz of incremental route repair: random delta sequences
+# (link downs/ups, inverted walks) applied to a repair chain must leave
+# every column bit-identical to a fresh all-pairs rebuild at the same
+# down set.
+fuzz-delta:
+	$(GO) test -run=^$$ -fuzz=FuzzDeltaRepair -fuzztime=$(FUZZTIME) ./internal/matbgp/
+
 # Deterministic stress: repeated randomized worker-count sweeps checked
 # against the serial oracle, with the race detector watching.
 STRESSCOUNT ?= 5
@@ -88,8 +106,9 @@ stress-harness:
 	STRESS_HARNESS=1 $(GO) test -run 'TestStressKillResume' -v -timeout 10m ./cmd/beatbgp/
 
 # The full pre-merge gate: formatting, static checks, build, the whole
-# test suite, and the race-focused parallel pass, in fail-fast order.
-verify: fmt-check vet build test race-par race-session race-matbgp
+# test suite, the race-focused passes, and the delta-repair differential
+# fuzz, in fail-fast order.
+verify: fmt-check vet build test race-par race-session race-matbgp race-delta fuzz-delta
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -97,10 +116,12 @@ bench:
 # Machine-readable benchmark baseline: BENCH_$(N).json records ns/op and
 # allocs for the root experiment suite, the parallel-runtime probes, the
 # session-layer replay benchmarks, and the batch route engine at
-# internet scale (100k-AS all-pairs + compression). Bump N for each new
-# baseline (BENCH_1.json is the first committed one; BENCH_3.json adds
-# the session benchmarks; BENCH_4.json adds the matbgp engine).
-N ?= 4
+# internet scale (100k-AS all-pairs + compression + delta repair). Bump
+# N for each new baseline (BENCH_1.json is the first committed one;
+# BENCH_3.json adds the session benchmarks; BENCH_4.json adds the matbgp
+# engine; BENCH_5.json adds the incremental delta-repair benchmarks and
+# the engine/workers/commit metadata header).
+N ?= 5
 BENCHTIME ?= 1x
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson

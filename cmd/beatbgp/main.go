@@ -133,10 +133,9 @@ func run() error {
 		}
 	}
 
-	switch *engine {
-	case "", "matbgp", "oracle":
-	default:
-		return fmt.Errorf("-engine must be \"matbgp\" or \"oracle\", got %q", *engine)
+	if *engine != "" && !validEngine(*engine) {
+		return fmt.Errorf("-engine %q is not a route engine (valid engines: %s)",
+			*engine, strings.Join(beatbgp.Engines(), ", "))
 	}
 
 	cfg := beatbgp.Config{Seed: *seed, Workers: *workers, Engine: *engine}
@@ -307,4 +306,14 @@ func writeResult(dir string, r beatbgp.Result) error {
 		}
 	}
 	return nil
+}
+
+// validEngine reports whether name is a registered route engine.
+func validEngine(name string) bool {
+	for _, e := range beatbgp.Engines() {
+		if name == e {
+			return true
+		}
+	}
+	return false
 }

@@ -6,7 +6,11 @@
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH_1.json
 //
 // Every "BenchmarkName-P  N  X ns/op  [Y B/op  Z allocs/op]" line becomes
-// one record tagged with the package from the preceding "pkg:" line.
+// one record tagged with the package from the preceding "pkg:" line. The
+// document header carries goos/goarch/cpu from the stream plus the route
+// engine, worker budget, and git commit (-engine/-workers/-commit, with
+// auto-detected defaults), so committed baselines attribute their numbers
+// to a configuration and a revision.
 // Non-benchmark output (experiment tables, PASS/ok lines) is ignored, and
 // benchmark lines with missing or unparsable metrics are kept with the
 // metrics that did parse — a partially garbled stream (an interrupted
@@ -21,7 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,10 +44,16 @@ type Record struct {
 }
 
 // Document is the emitted file: environment header plus sorted records.
+// Engine, Workers, and Commit attribute the numbers to a route engine,
+// a parallelism budget, and a source revision, so a series of BENCH_n
+// baselines reads as a perf trajectory rather than disconnected points.
 type Document struct {
 	GoOS       string   `json:"goos,omitempty"`
 	GoArch     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	Engine     string   `json:"engine,omitempty"`
+	Workers    int      `json:"workers,omitempty"`
+	Commit     string   `json:"commit,omitempty"`
 	Benchmarks []Record `json:"benchmarks"`
 }
 
@@ -107,6 +119,16 @@ func parse(sc *bufio.Scanner) (Document, int, error) {
 	return doc, skipped, nil
 }
 
+// gitCommit best-effort resolves the working tree's short revision; a
+// run outside a git checkout simply omits the field.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func main() {
 	if err := run(os.Stdin); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -116,6 +138,9 @@ func main() {
 
 func run(in io.Reader) error {
 	out := flag.String("o", "", "output file (default stdout)")
+	engine := flag.String("engine", "matbgp", "route engine the benchmarks exercised")
+	workers := flag.Int("workers", 0, "worker budget of the run (0 = GOMAXPROCS)")
+	commit := flag.String("commit", "", "source revision (default: git rev-parse --short HEAD)")
 	flag.Parse()
 
 	sc := bufio.NewScanner(in)
@@ -129,6 +154,15 @@ func run(in io.Reader) error {
 	}
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	doc.Engine = *engine
+	doc.Workers = *workers
+	if doc.Workers == 0 {
+		doc.Workers = runtime.GOMAXPROCS(0)
+	}
+	doc.Commit = *commit
+	if doc.Commit == "" {
+		doc.Commit = gitCommit()
 	}
 	js, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -1,6 +1,9 @@
 package bgp
 
-import "beatbgp/internal/topology"
+import (
+	"beatbgp/internal/delta"
+	"beatbgp/internal/topology"
+)
 
 // Computer computes converged routing state for announcement sets. The
 // canonical implementation is the recursive reference in this package
@@ -32,6 +35,82 @@ func (r *Reference) Compute(anns []Announcement) (*RIB, error) {
 // ComputeWithout implements Computer.
 func (r *Reference) ComputeWithout(anns []Announcement, down map[int]bool) (*RIB, error) {
 	return ComputeWithout(r.topo, anns, down)
+}
+
+// RouteRepairer carries converged routing state for one announcement set
+// across a sequence of topology deltas. Apply transitions to the next
+// epoch; RIB materializes the current epoch's routes. The contract is
+// bit-identity with the full rebuild: after any Apply sequence, RIB()
+// must equal ComputeWithout(anns, cumulative down set) in every query —
+// incremental engines may repair only what changed, but never
+// approximately.
+type RouteRepairer interface {
+	// Apply folds one topology delta into the carried state.
+	Apply(d delta.Delta) error
+	// RIB returns the converged RIB at the current epoch.
+	RIB() (*RIB, error)
+}
+
+// IncrementalComputer is implemented by Computers that can repair routes
+// across deltas without a full rebuild (internal/matbgp).
+type IncrementalComputer interface {
+	Computer
+	// StartRepair validates the announcement set, computes the initial
+	// (no links down) state, and returns a repairer positioned there.
+	StartRepair(anns []Announcement) (RouteRepairer, error)
+}
+
+// StartRepair opens a repair session on any Computer: incremental
+// engines repair in place, everything else (the recursive reference)
+// falls back to a full rebuild per epoch — same results, the repair
+// speedup is an engine property, not a semantic one.
+func StartRepair(c Computer, anns []Announcement) (RouteRepairer, error) {
+	if ic, ok := c.(IncrementalComputer); ok {
+		return ic.StartRepair(anns)
+	}
+	r := &rebuildRepairer{c: c, anns: append([]Announcement(nil), anns...)}
+	// Validate the announcement set eagerly, like incremental engines do.
+	if _, err := r.RIB(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// rebuildRepairer is the RouteRepairer fallback for engines without
+// incremental repair: it tracks the cumulative down set and rebuilds
+// from scratch at each epoch, memoizing the current epoch's RIB.
+type rebuildRepairer struct {
+	c    Computer
+	anns []Announcement
+	down map[int]bool
+	rib  *RIB
+}
+
+func (r *rebuildRepairer) Apply(d delta.Delta) error {
+	if !d.Empty() {
+		r.down = delta.Apply(r.down, d)
+		r.rib = nil
+	}
+	return nil
+}
+
+func (r *rebuildRepairer) RIB() (*RIB, error) {
+	if r.rib != nil {
+		return r.rib, nil
+	}
+	var down map[int]bool
+	if len(r.down) > 0 {
+		down = make(map[int]bool, len(r.down))
+		for l := range r.down {
+			down[l] = true
+		}
+	}
+	rib, err := r.c.ComputeWithout(r.anns, down)
+	if err != nil {
+		return nil, err
+	}
+	r.rib = rib
+	return rib, nil
 }
 
 // NewRIB assembles a RIB from externally computed per-AS best routes; it

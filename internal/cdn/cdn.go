@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"beatbgp/internal/bgp"
+	"beatbgp/internal/delta"
 	"beatbgp/internal/geo"
 	"beatbgp/internal/netpath"
 	"beatbgp/internal/netsim"
@@ -129,6 +130,15 @@ type CDN struct {
 	// per (site, prefix) instead of once per RTT sample.
 	physMu    sync.RWMutex
 	physCache map[int64]netpath.Route
+
+	// Epoch layer (epoch.go): the compiled fault schedule and the
+	// per-announcement-set repair chains and epoch-keyed caches built
+	// against it.
+	epochMu   sync.Mutex
+	epochSeq  *delta.Sequence
+	anyChain  *epochChain
+	uniChains []*epochChain
+	physAt    map[physEpochKey]physEpochVal
 }
 
 // UseEngine selects the route computation engine behind the RIB caches.

@@ -1,0 +1,240 @@
+package cdn
+
+import (
+	"fmt"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/delta"
+	"beatbgp/internal/netpath"
+	"beatbgp/internal/netsim"
+	"beatbgp/internal/topology"
+)
+
+// The epoch layer gives the CDN fault-aware routing state without the
+// per-query overlay hack: instead of recomputing a full RIB at every
+// sampled instant of a fault schedule, the schedule is compiled once
+// into a delta.Sequence (faults.Timeline.Deltas or session.History.
+// Deltas) and installed with SetEpochs; AnycastRIBAt/UnicastRIBAt then
+// carry one bgp.RouteRepairer per prefix across the epoch chain,
+// repairing only what each delta touches, and memoize the repaired RIB
+// per epoch. The per-(site, prefix) physical-route caches gain an epoch
+// dimension the same way: within one epoch routes are frozen, so every
+// sample instant in the epoch shares one resolved route.
+//
+// Bit-identity contract: AnycastRIBAt(e) and UnicastRIBAt(site, e)
+// answer every query exactly like Compute(With)out at the epoch's
+// cumulative down set — repair is an engine property, never a semantic
+// one (see bgp.RouteRepairer).
+
+// epochChain carries one announcement set's routing state across the
+// epoch sequence: a repairer positioned at epoch `at`, plus the RIBs
+// already materialized. Guarded by CDN.epochMu.
+type epochChain struct {
+	rep  bgp.RouteRepairer
+	at   int
+	ribs map[int]*bgp.RIB
+}
+
+// physEpochKey keys the epoch-aware physical-route cache. Site is the
+// unicast target, or -1 for the anycast walk.
+type physEpochKey struct {
+	epoch, site, prefix int
+}
+
+// physEpochVal is one resolved walk: the physical route and, for the
+// anycast walk, the catchment site it lands on.
+type physEpochVal struct {
+	phys netpath.Route
+	site int
+}
+
+// SetEpochs installs (or, with nil, removes) the epoch sequence the
+// fault-aware queries repair across, discarding all per-epoch state
+// built against a previous sequence. Install it before fanning out;
+// the epoch queries themselves are safe for concurrent use.
+func (c *CDN) SetEpochs(seq *delta.Sequence) {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	c.epochSeq = seq
+	c.anyChain = nil
+	c.uniChains = nil
+	c.physAt = nil
+}
+
+// Epochs returns the installed epoch sequence, or nil.
+func (c *CDN) Epochs() *delta.Sequence {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	return c.epochSeq
+}
+
+// advance walks a chain's repairer from its current epoch to epoch e,
+// folding the intermediate deltas forward — or their inversions
+// backward, which is exact because every epoch's delta is normalized
+// against its predecessor. Caller holds epochMu.
+func (c *CDN) advance(ch *epochChain, e int) (*bgp.RIB, error) {
+	if rib := ch.ribs[e]; rib != nil {
+		return rib, nil
+	}
+	for ch.at < e {
+		if err := ch.rep.Apply(c.epochSeq.Epoch(ch.at + 1).Delta); err != nil {
+			return nil, err
+		}
+		ch.at++
+	}
+	for ch.at > e {
+		if err := ch.rep.Apply(c.epochSeq.Epoch(ch.at).Delta.Invert()); err != nil {
+			return nil, err
+		}
+		ch.at--
+	}
+	rib, err := ch.rep.RIB()
+	if err != nil {
+		return nil, err
+	}
+	ch.ribs[e] = rib
+	return rib, nil
+}
+
+// checkEpoch validates an epoch index against the installed sequence.
+// Caller holds epochMu.
+func (c *CDN) checkEpoch(e int) error {
+	if c.epochSeq == nil {
+		return fmt.Errorf("cdn: no epoch sequence installed (SetEpochs)")
+	}
+	if e < 0 || e >= c.epochSeq.Len() {
+		return fmt.Errorf("cdn: epoch %d out of range [0,%d)", e, c.epochSeq.Len())
+	}
+	return nil
+}
+
+// AnycastRIBAt returns the ungroomed anycast RIB repaired to the given
+// epoch of the installed sequence: identical to recomputing from
+// scratch at the epoch's cumulative down set, but the repair chain pays
+// only for what each delta touches.
+func (c *CDN) AnycastRIBAt(epoch int) (*bgp.RIB, error) {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	if err := c.checkEpoch(epoch); err != nil {
+		return nil, err
+	}
+	if c.anyChain == nil {
+		rep, err := bgp.StartRepair(c.comp, c.Announcements(nil))
+		if err != nil {
+			return nil, err
+		}
+		c.anyChain = &epochChain{rep: rep, ribs: make(map[int]*bgp.RIB)}
+	}
+	return c.advance(c.anyChain, epoch)
+}
+
+// UnicastRIBAt returns the site's unicast RIB repaired to the given
+// epoch, with the same contract as AnycastRIBAt.
+func (c *CDN) UnicastRIBAt(site, epoch int) (*bgp.RIB, error) {
+	if site < 0 || site >= len(c.Sites) {
+		return nil, fmt.Errorf("cdn: site %d out of range", site)
+	}
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	if err := c.checkEpoch(epoch); err != nil {
+		return nil, err
+	}
+	if c.uniChains == nil {
+		c.uniChains = make([]*epochChain, len(c.Sites))
+	}
+	if c.uniChains[site] == nil {
+		rep, err := bgp.StartRepair(c.comp, []bgp.Announcement{{Origin: c.Sites[site].AS.ID}})
+		if err != nil {
+			return nil, err
+		}
+		c.uniChains[site] = &epochChain{rep: rep, ribs: make(map[int]*bgp.RIB)}
+	}
+	return c.advance(c.uniChains[site], epoch)
+}
+
+// physAtLookup memoizes a forwarding walk + resolution under an epoch
+// RIB. Caller holds epochMu (the walk itself is cheap relative to a
+// repair, and correctness beats parallel cache fills here).
+func (c *CDN) physAtLookup(key physEpochKey, walk func() (physEpochVal, error)) (physEpochVal, error) {
+	if v, ok := c.physAt[key]; ok {
+		return v, nil
+	}
+	v, err := walk()
+	if err != nil {
+		return physEpochVal{}, err
+	}
+	if c.physAt == nil {
+		c.physAt = make(map[physEpochKey]physEpochVal)
+	}
+	c.physAt[key] = v
+	return v, nil
+}
+
+// AnycastRTTAt measures the prefix's ungroomed anycast latency at
+// minute t with the fault schedule's route changes repaired in — the
+// epoch in effect at t selects the RIB — returning the latency and the
+// catchment site. The resolved physical route is cached per (epoch,
+// prefix), so sweeping many instants inside one epoch resolves once.
+func (c *CDN) AnycastRTTAt(sim *netsim.Sim, p topology.Prefix, t float64) (float64, int, error) {
+	c.epochMu.Lock()
+	if c.epochSeq == nil {
+		c.epochMu.Unlock()
+		return 0, 0, fmt.Errorf("cdn: no epoch sequence installed (SetEpochs)")
+	}
+	epoch := c.epochSeq.At(t)
+	c.epochMu.Unlock()
+	rib, err := c.AnycastRIBAt(epoch)
+	if err != nil {
+		return 0, 0, err
+	}
+	c.epochMu.Lock()
+	v, err := c.physAtLookup(physEpochKey{epoch: epoch, site: -1, prefix: p.ID},
+		func() (physEpochVal, error) {
+			phys, site, err := c.PhysViaRIB(rib, p)
+			if err != nil {
+				return physEpochVal{}, err
+			}
+			return physEpochVal{phys: phys, site: site}, nil
+		})
+	c.epochMu.Unlock()
+	if err != nil {
+		return 0, 0, err
+	}
+	return sim.RouteRTTMs(v.phys, p, t) + c.ServerMs, v.site, nil
+}
+
+// UnicastRTTAt is UnicastRTT with the fault schedule's route changes
+// repaired in: the epoch in effect at t selects the site's repaired
+// unicast RIB, and the resolved physical route is cached per (epoch,
+// site, prefix).
+func (c *CDN) UnicastRTTAt(sim *netsim.Sim, p topology.Prefix, site int, t float64) (float64, error) {
+	c.epochMu.Lock()
+	if c.epochSeq == nil {
+		c.epochMu.Unlock()
+		return 0, fmt.Errorf("cdn: no epoch sequence installed (SetEpochs)")
+	}
+	epoch := c.epochSeq.At(t)
+	c.epochMu.Unlock()
+	rib, err := c.UnicastRIBAt(site, epoch)
+	if err != nil {
+		return 0, err
+	}
+	c.epochMu.Lock()
+	v, err := c.physAtLookup(physEpochKey{epoch: epoch, site: site, prefix: p.ID},
+		func() (physEpochVal, error) {
+			r, err := c.forwardRoute(rib, p.Origin, p.City)
+			if err != nil {
+				return physEpochVal{}, fmt.Errorf("cdn: prefix %d cannot reach site %d: %w", p.ID, site, err)
+			}
+			phys, err := c.resolver.Resolve(r, p.City, c.Sites[site].City)
+			if err != nil {
+				return physEpochVal{}, err
+			}
+			return physEpochVal{phys: phys, site: site}, nil
+		})
+	c.epochMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return sim.RouteRTTMs(v.phys, p, t) + c.ServerMs, nil
+}

@@ -1,0 +1,200 @@
+package cdn
+
+import (
+	"testing"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/delta"
+	"beatbgp/internal/matbgp"
+	"beatbgp/internal/netsim"
+	"beatbgp/internal/topology"
+)
+
+// epochSequence builds a 4-epoch schedule flapping two of the first
+// site's links: both up, first down, both down, both up again.
+func epochSequence(t *testing.T, topo *topology.Topo, c *CDN) *delta.Sequence {
+	t.Helper()
+	nbs := topo.Neighbors(c.Sites[0].AS.ID)
+	if len(nbs) < 2 {
+		t.Fatalf("site 0 has %d links, need 2", len(nbs))
+	}
+	la, lb := nbs[0].Link, nbs[1].Link
+	seq, err := delta.Compile([]delta.Event{
+		{At: 10, Link: la, Down: true},
+		{At: 20, Link: lb, Down: true},
+		{At: 30, Link: la, Down: false},
+		{At: 30, Link: lb, Down: false},
+	}, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != 4 {
+		t.Fatalf("%d epochs, want 4", seq.Len())
+	}
+	return seq
+}
+
+// sameRIB compares two RIBs query for query over every AS.
+func sameRIB(t *testing.T, topo *topology.Topo, got, want *bgp.RIB, label string) {
+	t.Helper()
+	for as := 0; as < topo.NumASes(); as++ {
+		g, w := got.Best(as), want.Best(as)
+		if g.Valid != w.Valid || g.Src != w.Src || g.Link != w.Link || g.NextHop != w.NextHop ||
+			len(g.Path) != len(w.Path) {
+			t.Fatalf("%s: AS %d repaired %+v != rebuilt %+v", label, as, g, w)
+		}
+		for i := range g.Path {
+			if g.Path[i] != w.Path[i] {
+				t.Fatalf("%s: AS %d path %v != %v", label, as, g.Path, w.Path)
+			}
+		}
+	}
+}
+
+// TestEpochRIBsBitIdentical: every epoch's repaired anycast and unicast
+// RIBs must equal a from-scratch rebuild at that epoch's down set, for
+// both the rebuild-fallback (Reference) and the incremental engine
+// (matbgp), visiting epochs out of order so the chain walks both
+// directions.
+func TestEpochRIBsBitIdentical(t *testing.T) {
+	topo, c := build(t, 5)
+	seq := epochSequence(t, topo, c)
+	eng, err := matbgp.NewEngine(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := bgp.NewReference(topo)
+	for _, comp := range []bgp.Computer{ref, eng} {
+		c.UseEngine(comp)
+		c.SetEpochs(seq)
+		for _, e := range []int{2, 0, 3, 1, 2} { // forward and backward hops
+			down := seq.Epoch(e).DownSet()
+			anyRIB, err := c.AnycastRIBAt(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantAny, err := comp.ComputeWithout(c.Announcements(nil), down)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRIB(t, topo, anyRIB, wantAny, "anycast")
+			uniRIB, err := c.UnicastRIBAt(0, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantUni, err := comp.ComputeWithout([]bgp.Announcement{{Origin: c.Sites[0].AS.ID}}, down)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRIB(t, topo, uniRIB, wantUni, "unicast")
+		}
+		// Revisits are memoized: the same epoch returns the same pointer.
+		a, _ := c.AnycastRIBAt(1)
+		b, _ := c.AnycastRIBAt(1)
+		if a != b {
+			t.Fatal("epoch RIB not memoized")
+		}
+	}
+}
+
+// TestEpochRTTsMatchRebuild: the epoch-cached RTT queries agree with
+// computing the RIB from scratch at the instant's down set — fault
+// routes are repaired, not overlaid.
+func TestEpochRTTsMatchRebuild(t *testing.T) {
+	topo, c := build(t, 5)
+	seq := epochSequence(t, topo, c)
+	c.SetEpochs(seq)
+	sim := netsim.New(topo, netsim.Config{Seed: 5})
+	anns := c.Announcements(nil)
+	checked := 0
+	for _, at := range []float64{5, 15, 25, 45} {
+		down := seq.Epoch(seq.At(at)).DownSet()
+		rib, err := c.comp.ComputeWithout(anns, down)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range topo.Prefixes[:4] {
+			wantMs, wantSite, wantErr := c.RTTViaRIB(sim, rib, p, at)
+			gotMs, gotSite, gotErr := c.AnycastRTTAt(sim, p, at)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("t=%v prefix %d: err %v vs %v", at, p.ID, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if gotMs != wantMs || gotSite != wantSite {
+				t.Fatalf("t=%v prefix %d: AnycastRTTAt = (%v, %d), rebuild = (%v, %d)",
+					at, p.ID, gotMs, gotSite, wantMs, wantSite)
+			}
+			checked++
+			// Second sample in the same epoch hits the phys cache and
+			// must answer identically.
+			if again, site2, err := c.AnycastRTTAt(sim, p, at); err != nil || again != gotMs || site2 != gotSite {
+				t.Fatalf("t=%v prefix %d: cached resample diverged", at, p.ID)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no reachable prefixes checked")
+	}
+	// Unicast at a faulted epoch: repaired route matches a rebuild.
+	uniDown := seq.Epoch(seq.At(25)).DownSet()
+	uniRIB, err := c.comp.ComputeWithout([]bgp.Announcement{{Origin: c.Sites[0].AS.ID}}, uniDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked = 0
+	for _, p := range topo.Prefixes[:4] {
+		r, err := c.forwardRoute(uniRIB, p.Origin, p.City)
+		if err != nil {
+			continue
+		}
+		phys, err := c.resolver.Resolve(r, p.City, c.Sites[0].City)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sim.RouteRTTMs(phys, p, 25) + c.ServerMs
+		got, err := c.UnicastRTTAt(sim, p, 0, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("prefix %d: UnicastRTTAt = %v, rebuild = %v", p.ID, got, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no reachable prefixes checked for unicast")
+	}
+}
+
+// TestEpochLayerValidation: queries without an installed sequence and
+// out-of-range epochs fail loudly; SetEpochs(nil) tears the layer down.
+func TestEpochLayerValidation(t *testing.T) {
+	topo, c := build(t, 5)
+	if _, err := c.AnycastRIBAt(0); err == nil {
+		t.Fatal("AnycastRIBAt without a sequence succeeded")
+	}
+	sim := netsim.New(topo, netsim.Config{Seed: 5})
+	if _, _, err := c.AnycastRTTAt(sim, topo.Prefixes[0], 1); err == nil {
+		t.Fatal("AnycastRTTAt without a sequence succeeded")
+	}
+	if _, err := c.UnicastRTTAt(sim, topo.Prefixes[0], 0, 1); err == nil {
+		t.Fatal("UnicastRTTAt without a sequence succeeded")
+	}
+	seq := epochSequence(t, topo, c)
+	c.SetEpochs(seq)
+	if _, err := c.AnycastRIBAt(seq.Len()); err == nil {
+		t.Fatal("out-of-range epoch accepted")
+	}
+	if _, err := c.UnicastRIBAt(len(c.Sites), 0); err == nil {
+		t.Fatal("out-of-range site accepted")
+	}
+	if _, err := c.AnycastRIBAt(0); err != nil {
+		t.Fatal(err)
+	}
+	c.SetEpochs(nil)
+	if _, err := c.AnycastRIBAt(0); err == nil {
+		t.Fatal("query after SetEpochs(nil) succeeded")
+	}
+}

@@ -54,14 +54,18 @@ const (
 	StageResolver = "resolver"
 	StageSim      = "sim"
 	StageGen      = "gen"
+	StageEpochs   = "epochs"
 )
 
 // buildKeys holds the per-stage content keys for one normalized config,
-// plus the dynamics key (convergence + session models), which is not a
-// build stage — nothing is constructed from it at build time — but must
-// enter the WorldKey because it changes what experiments compute.
+// plus two derived keys that are not build-time stages but must enter
+// the WorldKey because they change what experiments compute: the
+// dynamics key (convergence + session models) and the epochs key (the
+// fault epoch sequence the studies repair across — built lazily by
+// Scenario.faultEpochs from the sim stage's schedule replayed under the
+// dynamics models, hence keyed on exactly those two inputs).
 type buildKeys struct {
-	topo, prov, cdn, dns, oracle, res, sim, gen, dyn string
+	topo, prov, cdn, dns, oracle, res, sim, gen, dyn, epochs string
 }
 
 // computeKeys derives every stage key from the normalized config. Keys
@@ -82,6 +86,7 @@ func computeKeys(cfg Config) buildKeys {
 	k.sim = stageKey(StageSim, cfg.Net, k.cdn)
 	k.gen = stageKey(StageGen, cfg.Workload, k.sim, k.res)
 	k.dyn = stageKey("dynamics", cfg.Convergence, cfg.Session)
+	k.epochs = stageKey(StageEpochs, k.sim, k.dyn)
 	return k
 }
 
@@ -99,7 +104,7 @@ func WorldKey(cfg Config) (string, error) {
 		return "", err
 	}
 	k := computeKeys(cfg)
-	return stageKey("world", k.topo, k.prov, k.cdn, k.dns, k.oracle, k.res, k.sim, k.gen, k.dyn), nil
+	return stageKey("world", k.topo, k.prov, k.cdn, k.dns, k.oracle, k.res, k.sim, k.gen, k.dyn, k.epochs), nil
 }
 
 // CellKey chains a WorldKey with an experiment ID into the content key of

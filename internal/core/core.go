@@ -127,12 +127,26 @@ func (c *Config) Validate() error {
 	if err := c.Session.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	switch c.Engine {
-	case "", "matbgp", "oracle":
-	default:
-		return fmt.Errorf("core: unknown route engine %q (want \"matbgp\" or \"oracle\")", c.Engine)
+	if c.Engine != "" && !validEngine(c.Engine) {
+		return fmt.Errorf("core: unknown route engine %q (valid engines: %s)",
+			c.Engine, strings.Join(Engines(), ", "))
 	}
 	return nil
+}
+
+// Engines lists the valid Config.Engine names: "matbgp" (the compact
+// batch engine, the default) and "oracle" (the recursive reference kept
+// as the differential baseline). The slice is fresh per call; callers
+// may reorder it.
+func Engines() []string { return []string{"matbgp", "oracle"} }
+
+func validEngine(name string) bool {
+	for _, e := range Engines() {
+		if name == e {
+			return true
+		}
+	}
+	return false
 }
 
 // Scenario is a fully built simulation world shared by the experiments.
@@ -175,6 +189,8 @@ type Scenario struct {
 	traces   []workload.Trace // lazily built Edge-Fabric trace (see efTraces)
 	tierMu   sync.Mutex
 	tier     *tierState // lazily built cloud-tier state (see tiers)
+	epochsMu sync.Mutex
+	epochs   *faultEpochState // lazily built fault epoch pipeline (see faultEpochs)
 }
 
 // workers resolves the effective worker count for parallel sweeps.

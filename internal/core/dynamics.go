@@ -38,6 +38,14 @@ func SiteOutageStudy(s *Scenario) (Result, error) {
 		return Result{}, err
 	}
 
+	// One repair chain serves the whole sweep: failing site k+1 repairs
+	// from site k's state across the two down-set diffs instead of
+	// rebuilding all-pairs per site — bit-identical to ComputeWithout by
+	// the RouteRepairer contract.
+	walker, err := newRepairWalker(s.Routes, s.CDN.Announcements(nil))
+	if err != nil {
+		return Result{}, err
+	}
 	var anyDown, dnsDown stats.Dist // downtime minutes per affected client
 	var anyInflate stats.Dist       // anycast post-failover latency inflation
 	var anyAffected, dnsAffected, totalWeight float64
@@ -51,7 +59,7 @@ func SiteOutageStudy(s *Scenario) (Result, error) {
 		for _, nb := range s.Topo.Neighbors(s.CDN.Sites[site].AS.ID) {
 			down[nb.Link] = true
 		}
-		postRIB, err := s.Routes.ComputeWithout(s.CDN.Announcements(nil), down)
+		postRIB, err := walker.At(down)
 		if err != nil {
 			return Result{}, err
 		}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/delta"
+	"beatbgp/internal/faults"
+	"beatbgp/internal/session"
+)
+
+// The epoch pipeline is the core layer's slice of the incremental route
+// refactor: the injected fault schedule is drawn once, replayed once
+// through the session layer, and compiled once into a delta.Sequence
+// (see internal/delta); the studies then carry bgp.RouteRepairer chains
+// across the resulting down-set series instead of rebuilding all-pairs
+// at every sampled instant. The sequence is a derived build stage —
+// StageEpochs in build.go keys it on the sim and dynamics stages — so
+// experiment checkpoints invalidate exactly when the schedule or the
+// session model changes.
+
+// faultEpochState is the lazily built fault-dynamics pipeline shared by
+// xfaults and xdetect: the deterministic egress fault schedule, its
+// replay through the session layer under the scenario's session config,
+// and the replay compiled into the epoch sequence.
+type faultEpochState struct {
+	tl   *faults.Timeline
+	hist *session.History
+	seq  *delta.Sequence
+}
+
+// faultEpochs builds (once) the egress fault schedule, session replay,
+// and compiled epoch sequence. Concurrent experiments share one build.
+func (s *Scenario) faultEpochs() (*faultEpochState, error) {
+	s.epochsMu.Lock()
+	defer s.epochsMu.Unlock()
+	if s.epochs != nil {
+		return s.epochs, nil
+	}
+	tl, err := egressFaultTimeline(s)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := sessionHistory(s, tl, s.Cfg.Session)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := hist.Deltas(0, faultHorizonMin)
+	if err != nil {
+		return nil, err
+	}
+	s.epochs = &faultEpochState{tl: tl, hist: hist, seq: seq}
+	return s.epochs, nil
+}
+
+// repairWalker carries one announcement set's routing state across an
+// ordered series of down sets, repairing only the difference between
+// consecutive sets instead of rebuilding all-pairs at each one. The
+// results are bit-identical to ComputeWithout at every step — that is
+// the bgp.RouteRepairer contract; the walker only sequences the deltas.
+type repairWalker struct {
+	rep  bgp.RouteRepairer
+	down map[int]bool
+}
+
+// newRepairWalker starts a repair chain for the announcement set at the
+// all-links-up state.
+func newRepairWalker(c bgp.Computer, anns []bgp.Announcement) (*repairWalker, error) {
+	rep, err := bgp.StartRepair(c, anns)
+	if err != nil {
+		return nil, err
+	}
+	return &repairWalker{rep: rep}, nil
+}
+
+// At repairs the chain to the given down set — which need not relate to
+// the previous one; the walker diffs them — and returns the RIB there,
+// exactly ComputeWithout(anns, down).
+func (w *repairWalker) At(down map[int]bool) (*bgp.RIB, error) {
+	if err := w.rep.Apply(delta.Diff(w.down, down)); err != nil {
+		return nil, err
+	}
+	next := make(map[int]bool, len(down))
+	for l, v := range down {
+		if v {
+			next[l] = true
+		}
+	}
+	w.down = next
+	return w.rep.RIB()
+}

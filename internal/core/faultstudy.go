@@ -34,23 +34,23 @@ func FaultStudy(s *Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	tl, err := egressFaultTimeline(s)
+	// The fault pipeline — schedule, session replay, compiled epoch
+	// sequence — is built once per scenario (see faultEpochs). The replay
+	// gives the faulty twin the EMERGENT overlay — a link is unusable
+	// while physically down or while its route is withdrawn/suppressed —
+	// rather than instantaneous fault edges; the epoch sequence indexes
+	// the same truth for per-epoch caching.
+	fe, err := s.faultEpochs()
 	if err != nil {
 		return Result{}, err
 	}
-	// Replay the schedule through the event-driven session layer: the
-	// faulty twin sees the EMERGENT overlay — a link is unusable while
-	// physically down or while its route is withdrawn/suppressed — rather
-	// than instantaneous fault edges.
-	hist, err := sessionHistory(s, tl, s.Cfg.Session)
-	if err != nil {
-		return Result{}, err
-	}
+	tl, hist := fe.tl, fe.hist
 	// Twin simulators over identical stochastic draws; only one carries the
 	// injected faults, so their difference isolates the injection.
 	clean := netsim.New(s.Topo, s.Cfg.Net)
 	faulty := netsim.New(s.Topo, s.Cfg.Net)
 	faulty.SetFaults(hist)
+	faulty.SetEpochs(fe.seq)
 
 	traceVol := make([]float64, len(traces))
 	for i, tr := range traces {
@@ -436,6 +436,14 @@ func AnycastFaultAvailability(s *Scenario) (Result, error) {
 		return Result{}, err
 	}
 
+	// One repair chain serves every event: each event's post-fault RIB is
+	// repaired from the previous event's state across the down-set diff
+	// instead of rebuilt all-pairs — bit-identical to ComputeWithout by
+	// the RouteRepairer contract.
+	walker, err := newRepairWalker(s.Routes, s.CDN.Announcements(nil))
+	if err != nil {
+		return Result{}, err
+	}
 	var anyDown, anyDownPlanned, dnsDown, dnsDownPlanned stats.Dist
 	var drainInflate stats.Dist
 	var anyAff, anyAffP, dnsAff, dnsAffP, totalWeight float64
@@ -450,7 +458,7 @@ func AnycastFaultAvailability(s *Scenario) (Result, error) {
 		if len(downE) == 0 {
 			continue
 		}
-		postRIB, err := s.Routes.ComputeWithout(s.CDN.Announcements(nil), downE)
+		postRIB, err := walker.At(downE)
 		if err != nil {
 			return Result{}, err
 		}

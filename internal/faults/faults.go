@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 
+	"beatbgp/internal/delta"
 	"beatbgp/internal/topology"
 )
 
@@ -365,6 +366,24 @@ func (tl *Timeline) FaultedLinks() []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// Deltas compiles the injected outage schedule over [t0, t1) into an
+// epoch sequence: one epoch per instant at which the injected down set
+// actually changes, each carrying the link up/down delta from its
+// predecessor and the cumulative down set in effect. The sequence and
+// the instant queries agree everywhere: for any t in the span,
+// DownLinks(t) holds exactly the links in the sequence's DownAt(t), so
+// experiments can walk epochs (feeding deltas to a bgp.RouteRepairer)
+// instead of recomputing the down set at every sample instant.
+func (tl *Timeline) Deltas(t0, t1 float64) (*delta.Sequence, error) {
+	ws := make(map[int][]delta.Window, len(tl.linkDown))
+	for l := range tl.linkDown {
+		for _, w := range tl.DownWindows(l) {
+			ws[l] = append(ws[l], delta.Window{Start: w.Start, End: w.End})
+		}
+	}
+	return delta.CompileWindows(ws, t0, t1)
 }
 
 // Boundaries returns the sorted, de-duplicated event start/end minutes

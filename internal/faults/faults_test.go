@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"beatbgp/internal/cable"
+	"beatbgp/internal/delta"
 	"beatbgp/internal/geo"
 	"beatbgp/internal/topology"
 )
@@ -293,5 +294,131 @@ func TestDownWindowsMergeAndFaultedLinks(t *testing.T) {
 		if got := tl.LinkDownAt(link, probe.t); got != probe.down {
 			t.Fatalf("LinkDownAt(%v) = %v, want %v", probe.t, got, probe.down)
 		}
+	}
+}
+
+// TestActiveAtBoundaryInstants pins the [Start, End) sampling contract of
+// ActiveAt at the awkward instants: an event ending exactly at the sample
+// instant is over, one starting there is in progress, and overlapping
+// events on one link each report individually (merging is a DownWindows
+// concern, not a schedule concern).
+func TestActiveAtBoundaryInstants(t *testing.T) {
+	topo, ids, _ := testTopo(t)
+	link := topo.Neighbors(ids["EYE"])[0].Link
+	events := []Event{
+		{Kind: LinkDown, Start: 10, Duration: 10, Target: link}, // [10,20)
+		{Kind: LinkDown, Start: 15, Duration: 10, Target: link}, // [15,25) overlaps
+		{Kind: ASOutage, Start: 20, Duration: 5, Target: ids["STUB"]},
+	}
+	tl, err := New(topo, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(at float64) map[Kind]int {
+		out := map[Kind]int{}
+		for _, e := range tl.ActiveAt(at) {
+			out[e.Kind]++
+		}
+		return out
+	}
+	for _, probe := range []struct {
+		at   float64
+		want map[Kind]int
+	}{
+		{9.999, map[Kind]int{}},
+		{10, map[Kind]int{LinkDown: 1}}, // starts at its Start
+		{15, map[Kind]int{LinkDown: 2}}, // overlap: both report
+		{19.999, map[Kind]int{LinkDown: 2}},
+		{20, map[Kind]int{LinkDown: 1, ASOutage: 1}}, // first ends exactly here
+		{24.999, map[Kind]int{LinkDown: 1, ASOutage: 1}},
+		{25, map[Kind]int{}}, // both end exactly here
+	} {
+		if got := count(probe.at); !reflect.DeepEqual(got, probe.want) {
+			t.Errorf("ActiveAt(%v) kinds = %v, want %v", probe.at, got, probe.want)
+		}
+	}
+	// The point queries agree: the overlapped link is down throughout
+	// [10,25) and up at exactly 25; the merged window says the same.
+	if !tl.LinkDownAt(link, 20) || tl.LinkDownAt(link, 25) {
+		t.Fatal("LinkDownAt disagrees with the [Start, End) contract")
+	}
+	if ws := tl.DownWindows(link); !reflect.DeepEqual(ws, []Window{{Start: 10, End: 25}}) {
+		t.Fatalf("DownWindows = %v, want one merged [10,25)", ws)
+	}
+}
+
+// TestTimelineDeltas checks the epoch compilation against the instant
+// queries it summarizes: every sampled minute must see the same down set
+// through seq.DownAt as through DownLinks, epoch boundaries must fall
+// exactly on the instants the injected world changes, and a window
+// already open at the span start must be down in epoch 0.
+func TestTimelineDeltas(t *testing.T) {
+	topo, ids, _ := testTopo(t)
+	la := topo.Neighbors(ids["EYE"])[0].Link
+	lb := topo.Neighbors(ids["STUB"])[0].Link
+	tl, err := New(topo, []Event{
+		{Kind: LinkDown, Start: 5, Duration: 10, Target: la},  // [5,15): open at t0=8
+		{Kind: LinkDown, Start: 12, Duration: 8, Target: la},  // overlap -> merged [5,20)
+		{Kind: LinkDown, Start: 30, Duration: 10, Target: lb}, // [30,40)
+		{Kind: LinkDown, Start: 35, Duration: 10, Target: la}, // [35,45)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := tl.Deltas(8, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change instants inside (8, 60): 20 (la up), 30 (lb down), 35 (la
+	// down), 40 (lb up), 45 (la up) — plus epoch 0 at 8 with la already down.
+	var starts []float64
+	for i := 0; i < seq.Len(); i++ {
+		starts = append(starts, seq.Epoch(i).Start)
+	}
+	if want := []float64{8, 20, 30, 35, 40, 45}; !reflect.DeepEqual(starts, want) {
+		t.Fatalf("epoch starts = %v, want %v", starts, want)
+	}
+	if d := seq.Epoch(0).Down; !reflect.DeepEqual(d, []int{la}) {
+		t.Fatalf("epoch 0 down = %v, want [%d] (window open at span start)", d, la)
+	}
+	// Dense cross-check against the instant query, including the exact
+	// boundary instants (a window ending at t is up at t).
+	for at := 8.0; at < 60; at += 0.5 {
+		want := tl.DownLinks(at)
+		got := map[int]bool{}
+		for _, l := range seq.DownAt(at) {
+			got[l] = true
+		}
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("DownAt(%v) = %v, DownLinks = %v", at, got, want)
+		}
+	}
+	// Folding the epoch deltas reproduces each epoch's down set.
+	var down map[int]bool
+	for i := 0; i < seq.Len(); i++ {
+		ep := seq.Epoch(i)
+		down = delta.Apply(down, ep.Delta)
+		want := ep.DownSet()
+		if want == nil {
+			want = map[int]bool{}
+		}
+		got := down
+		if got == nil {
+			got = map[int]bool{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("epoch %d folded delta = %v, want %v", i, got, want)
+		}
+	}
+	// A quiet span compiles to a single empty epoch.
+	quiet, err := tl.Deltas(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Len() != 1 || len(quiet.Epoch(0).Down) != 0 {
+		t.Fatalf("quiet span: %d epochs, down %v", quiet.Len(), quiet.Epoch(0).Down)
 	}
 }

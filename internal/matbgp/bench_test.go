@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"beatbgp/internal/bgp"
+	"beatbgp/internal/delta"
 	"beatbgp/internal/topology"
 )
 
@@ -112,5 +113,123 @@ func BenchmarkTopologyCompress(b *testing.B) {
 			b.Fatal(err)
 		}
 		benchSink = uint32(g.NumClasses())
+	}
+}
+
+// BenchmarkDeltaRepair measures event-driven route repair at internet
+// scale against the full-rebuild baseline (BenchmarkMatbgpAllPairs is
+// the rebuild of the same world). Setup builds one Repairer per
+// distinct column — every non-stub plus one representative per stub
+// class, the same census the all-pairs sweep uses; each iteration then
+// flaps one transit uplink (down delta, then up delta) across all of
+// them. Unaffected columns reject the delta with one O(degree) endpoint
+// scan, affected ones repair only their withdraw/improve cones, so a
+// single-link flap costs milliseconds where the rebuild costs the full
+// sweep.
+func BenchmarkDeltaRepair(b *testing.B) {
+	const nTier1, nTransit, nStub = 10, 500, 100000 - 510
+	n, asn, links := synthWorld(nTier1, nTransit, nStub)
+	g, err := New(n, asn, links)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var origins []int
+	for v := 0; v < g.NumASes(); v++ {
+		if g.ClassOf(v) < 0 {
+			origins = append(origins, v)
+		}
+	}
+	for c := 0; c < g.NumClasses(); c++ {
+		origins = append(origins, int(g.ClassMembers(c)[0]))
+	}
+	sc := g.NewRepairScratch()
+	reps := make([]*Repairer, len(origins))
+	for i, origin := range origins {
+		r, err := g.NewRepairer([]bgp.Announcement{{Origin: origin}}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps[i] = r.WithScratch(sc)
+	}
+	// The first transit's first uplink into the tier-1 clique: inside
+	// the customer cones of its homed stubs, so the flap dirties a real
+	// (but sparse) set of columns.
+	flap := nTier1 * (nTier1 - 1) / 2
+	downD := delta.Delta{Down: []int{flap}}
+	upD := delta.Delta{Up: []int{flap}}
+	b.ReportMetric(float64(g.NumASes()), "ases")
+	b.ReportMetric(float64(len(reps)), "columns")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum uint32
+		for _, r := range reps {
+			if err := r.Apply(downD); err != nil {
+				b.Fatal(err)
+			}
+			sum ^= r.Column()[flap%n]
+			if err := r.Apply(upD); err != nil {
+				b.Fatal(err)
+			}
+		}
+		benchSink = sum
+	}
+}
+
+// BenchmarkDeltaRepairColumn is the per-column view of the same flap:
+// one affected column repaired (down then up) per iteration, directly
+// comparable to one g.column rebuild pair at the same down sets
+// (BenchmarkDeltaRebuildColumn).
+func BenchmarkDeltaRepairColumn(b *testing.B) {
+	const nTier1, nTransit, nStub = 10, 500, 100000 - 510
+	n, asn, links := synthWorld(nTier1, nTransit, nStub)
+	g, err := New(n, asn, links)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Origin homed on the flapped transit (stub 0's first provider is
+	// transit 0), so the flap always dirties this column.
+	anns := []bgp.Announcement{{Origin: nTier1 + nTransit}}
+	r, err := g.NewRepairer(anns, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flap := nTier1 * (nTier1 - 1) / 2
+	downD := delta.Delta{Down: []int{flap}}
+	upD := delta.Delta{Up: []int{flap}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Apply(downD); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Apply(upD); err != nil {
+			b.Fatal(err)
+		}
+		benchSink = r.Column()[0]
+	}
+}
+
+// BenchmarkDeltaRebuildColumn is BenchmarkDeltaRepairColumn's rebuild
+// baseline: the same two epochs recomputed from scratch.
+func BenchmarkDeltaRebuildColumn(b *testing.B) {
+	const nTier1, nTransit, nStub = 10, 500, 100000 - 510
+	n, asn, links := synthWorld(nTier1, nTransit, nStub)
+	g, err := New(n, asn, links)
+	if err != nil {
+		b.Fatal(err)
+	}
+	anns := []bgp.Announcement{{Origin: nTier1 + nTransit}}
+	flap := nTier1 * (nTier1 - 1) / 2
+	down := map[int]bool{flap: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col, err := g.column(anns, down)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = col[0]
+		if col, err = g.column(anns, nil); err != nil {
+			b.Fatal(err)
+		}
+		benchSink ^= col[0]
 	}
 }

@@ -58,6 +58,12 @@ type Graph struct {
 	adjDist  []float64 // geographic tie-break at the owner for this link
 	adjRev   []int32   // index of the mirror adjacency in the neighbor's list
 
+	// linkAdj maps link ID i to its two adjacency indices (2i at the
+	// link's A side, 2i+1 at the B side), so delta repair can reach a
+	// flapped link's endpoints without scanning the CSR.
+	nLinks  int
+	linkAdj []int32
+
 	// Stub compression: classOf[v] >= 0 groups stubs (no customer-view
 	// adjacencies) by identical (provider set, peer set) signature;
 	// classes holds each class's members in ascending order.
@@ -120,12 +126,15 @@ func New(n int, asn []int, links []Link) (*Graph, error) {
 	g.adjView = make([]uint8, m)
 	g.adjDist = make([]float64, m)
 	g.adjRev = make([]int32, m)
+	g.nLinks = len(links)
+	g.linkAdj = make([]int32, 2*len(links))
 	fill := make([]int32, n)
 	copy(fill, g.adjOff[:n])
 	for i, l := range links {
 		ia, ib := fill[l.A], fill[l.B]
 		fill[l.A]++
 		fill[l.B]++
+		g.linkAdj[2*i], g.linkAdj[2*i+1] = ia, ib
 		viewA, viewB := topology.ViewPeer, topology.ViewPeer
 		if l.Rel == topology.C2P {
 			viewA, viewB = topology.ViewProvider, topology.ViewCustomer

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sync"
 
+	"beatbgp/internal/delta"
 	"beatbgp/internal/netpath"
 	"beatbgp/internal/topology"
 	"beatbgp/internal/xrand"
@@ -188,6 +189,7 @@ type Sim struct {
 	// small peers). Set before first Failed query for the link.
 	failRate map[int]float64
 	faults   FaultOverlay
+	epochs   *delta.Sequence
 }
 
 type prefixProc struct {
@@ -235,6 +237,7 @@ func (s *Sim) Clone() *Sim {
 		c.failRate[l] = f
 	}
 	c.faults = s.faults
+	c.epochs = s.epochs
 	return c
 }
 
@@ -246,6 +249,30 @@ func (s *Sim) SetFaults(f FaultOverlay) { s.faults = f }
 
 // Faults returns the installed overlay, or nil.
 func (s *Sim) Faults() FaultOverlay { return s.faults }
+
+// SetEpochs installs (or, with nil, removes) the compiled epoch sequence
+// of the installed fault overlay — the same schedule the overlay answers
+// instant queries from, folded into constant-topology spans. It is an
+// index, not a second fault source: consumers that cache per-epoch state
+// (repaired RIB views, physical-route caches) key on EpochAt(t) so that
+// every instant within one epoch shares one cache line, while plain
+// instant queries keep going through the overlay. Install it alongside
+// SetFaults, before fanning out; a Sequence is immutable, so clones
+// share it.
+func (s *Sim) SetEpochs(seq *delta.Sequence) { s.epochs = seq }
+
+// Epochs returns the installed epoch sequence, or nil.
+func (s *Sim) Epochs() *delta.Sequence { return s.epochs }
+
+// EpochAt returns the index of the epoch in effect at minute t, or -1
+// when no sequence is installed. Instants outside the compiled span
+// clamp to the first or last epoch, mirroring delta.Sequence.At.
+func (s *Sim) EpochAt(t float64) int {
+	if s.epochs == nil {
+		return -1
+	}
+	return s.epochs.At(t)
+}
 
 // rngFor derives a deterministic generator for one entity, independent of
 // query order.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"beatbgp/internal/bgp"
+	"beatbgp/internal/delta"
 	"beatbgp/internal/netpath"
 	"beatbgp/internal/topology"
 )
@@ -355,5 +356,47 @@ func TestConcurrentQueries(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestEpochIndex: the installed epoch sequence indexes time into
+// constant-topology spans, clones share it, and removing it returns the
+// sim to instant-only behavior.
+func TestEpochIndex(t *testing.T) {
+	f := setup(t)
+	s := New(f.topo, Config{Seed: 5})
+	if got := s.EpochAt(10); got != -1 {
+		t.Fatalf("EpochAt without a sequence = %d, want -1", got)
+	}
+	seq, err := delta.Compile([]delta.Event{
+		{At: 10, Link: 0, Down: true},
+		{At: 20, Link: 0, Down: false},
+	}, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetEpochs(seq)
+	if s.Epochs() != seq {
+		t.Fatal("Epochs does not return the installed sequence")
+	}
+	for _, probe := range []struct {
+		at   float64
+		want int
+	}{{0, 0}, {9.999, 0}, {10, 1}, {19.999, 1}, {20, 2}, {99, 2}, {500, 2}} {
+		if got := s.EpochAt(probe.at); got != probe.want {
+			t.Fatalf("EpochAt(%v) = %d, want %d", probe.at, got, probe.want)
+		}
+	}
+	clone := s.Clone()
+	if clone.Epochs() != seq || clone.EpochAt(15) != 1 {
+		t.Fatal("clone does not carry the epoch sequence")
+	}
+	s.SetEpochs(nil)
+	if got := s.EpochAt(15); got != -1 {
+		t.Fatalf("EpochAt after removal = %d, want -1", got)
+	}
+	// The clone keeps its own reference.
+	if clone.EpochAt(15) != 1 {
+		t.Fatal("removal on the parent leaked into the clone")
 	}
 }

@@ -3,6 +3,7 @@ package session
 import (
 	"sort"
 
+	"beatbgp/internal/delta"
 	"beatbgp/internal/faults"
 )
 
@@ -169,6 +170,56 @@ func (h *History) Boundaries(t0, t1 float64) []float64 {
 	}
 	sort.Float64s(out)
 	return out
+}
+
+// Events returns the replayed world's ordered link-usability stream: one
+// Down edge where a link stops carrying routes and one Up edge where it
+// resumes, for every link the timeline faults or the replay covers. A
+// link is unusable exactly when LinkDownAt says so — physically down, or
+// its route withdrawn/suppressed by the session layer — so each link's
+// edges are the boundaries of the merged union of its physical and
+// control-plane windows (a session tail fuses with the physical outage
+// it trails into one continuous down span). Edges are ordered by time,
+// then link.
+func (h *History) Events() []delta.Event {
+	links := h.tl.FaultedLinks()
+	for _, l := range h.links {
+		links = append(links, l)
+	}
+	sort.Ints(links)
+	var out []delta.Event
+	prev := -1
+	for _, link := range links {
+		if link == prev {
+			continue // replayed and faulted
+		}
+		prev = link
+		ws := h.tl.DownWindows(link)
+		if lh := h.perLink[link]; lh != nil && len(lh.ctlDown) > 0 {
+			ws = mergeWindows(append(append([]faults.Window(nil), ws...), lh.ctlDown...))
+		}
+		for _, w := range ws {
+			out = append(out, delta.Event{At: w.Start, Link: link, Down: true})
+			out = append(out, delta.Event{At: w.End, Link: link, Down: false})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out
+}
+
+// Deltas compiles the usability stream over [t0, t1) into an epoch
+// sequence: one epoch per instant the usable-link set changes, each
+// carrying the delta from its predecessor. The sequence agrees with the
+// instant query everywhere — seq.LinkDownAt(l, t) == h.LinkDownAt(l, t)
+// for every t in the span — so route pipelines can repair across epochs
+// instead of recomputing the down set per sample.
+func (h *History) Deltas(t0, t1 float64) (*delta.Sequence, error) {
+	return delta.Compile(h.Events(), t0, t1)
 }
 
 // LinkDownAt implements netsim.FaultOverlay: the link is unusable when

@@ -410,3 +410,74 @@ func TestBoundariesIncludeSessionEdges(t *testing.T) {
 		}
 	}
 }
+
+func TestDeltasMatchLinkDownAt(t *testing.T) {
+	topo, links := testTopo(t)
+	eye, stub := links["eye"], links["stub"]
+	// A flap storm on eye (damping tails), overlapping faults on stub.
+	evs := [][3]float64{
+		{float64(stub), 10, 15}, {float64(stub), 20, 10},
+	}
+	for i := 0; i < 6; i++ {
+		evs = append(evs, [3]float64{float64(eye), 40 + 14*float64(i), 7})
+	}
+	tl := timeline(t, topo, evs)
+	h, err := Replay(tl, nil, Config{}, 42, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := h.Deltas(0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() < 4 {
+		t.Fatalf("only %d epochs for a schedule with session tails", seq.Len())
+	}
+	// The compiled sequence and the instant query must agree everywhere:
+	// sample densely plus exactly at every boundary instant (an edge
+	// ending at t is up at t) and just around it.
+	samples := []float64{0}
+	for _, b := range h.Boundaries(0, 300) {
+		samples = append(samples, b, b-1e-9, b+1e-9)
+	}
+	for at := 0.5; at < 300; at += 0.5 {
+		samples = append(samples, at)
+	}
+	for _, link := range []int{eye, stub, links["trab"]} {
+		for _, at := range samples {
+			if at < 0 {
+				continue
+			}
+			if got, want := seq.LinkDownAt(link, at), h.LinkDownAt(link, at); got != want {
+				t.Fatalf("link %d at %v: sequence says down=%v, history says %v", link, at, got, want)
+			}
+		}
+	}
+	// The session layer's tail must be visible as epochs: the link stays
+	// down past the physical end (minute 30) of its merged stub fault,
+	// until the route is re-advertised at UsableAt.
+	o, ok := h.OutageAt(stub, 29)
+	if !ok || o.UsableAt <= 30 {
+		t.Fatalf("expected a detected stub outage with a tail, got %+v ok=%v", o, ok)
+	}
+	if !seq.LinkDownAt(stub, (30+o.UsableAt)/2) {
+		t.Error("control-plane tail after the physical window not in the sequence")
+	}
+	// Event stream is time-ordered and alternates down/up per link.
+	events := h.Events()
+	state := map[int]bool{}
+	for i, e := range events {
+		if i > 0 && e.At < events[i-1].At {
+			t.Fatalf("event %d out of order: %v after %v", i, e, events[i-1])
+		}
+		if state[e.Link] == e.Down {
+			t.Fatalf("event %d (%v) does not alternate", i, e)
+		}
+		state[e.Link] = e.Down
+	}
+	for l, down := range state {
+		if down {
+			t.Fatalf("link %d left down at stream end", l)
+		}
+	}
+}
