@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-par race-session race-matbgp race-delta fuzz fuzz-par fuzz-session fuzz-matbgp fuzz-delta stress-par stress-session stress-harness verify bench bench-json clean
+.PHONY: all build vet fmt-check test race race-par race-session race-matbgp race-delta race-serve fuzz fuzz-par fuzz-session fuzz-matbgp fuzz-delta stress-par stress-session stress-harness verify bench bench-json clean
 
 all: vet fmt-check build test
 
@@ -58,6 +58,17 @@ race-delta:
 	$(GO) test -race -run 'TestEpoch' ./internal/cdn/
 	$(GO) test -race -run 'TestEpochRepairBitIdenticalAcrossWorkers|TestRepairWalkerMatchesRebuild|TestFaultEpochsMemoized' ./internal/core/
 
+# Race-focused pass over the serving layer and the concurrency seams it
+# leans on: parallel mixed queries against a live beatbgpd listener must
+# stay byte-identical to single-threaded library answers, restart on the
+# same world key must be transparent, drain must complete in-flight
+# requests — all under the detector, plus the cdn/matbgp singleflight
+# paths the daemon's queries fan into.
+race-serve:
+	$(GO) test -race -run 'TestServe' ./internal/serve/
+	$(GO) test -race -run 'TestEpochConcurrentQueries' ./internal/cdn/
+	$(GO) test -race -run 'TestEngineClassColumnSingleflight|TestRepairInterleavedChains' ./internal/matbgp/
+
 # Short fuzz pass over Config validation; raise FUZZTIME for a longer run.
 FUZZTIME ?= 10s
 fuzz:
@@ -108,7 +119,7 @@ stress-harness:
 # The full pre-merge gate: formatting, static checks, build, the whole
 # test suite, the race-focused passes, and the delta-repair differential
 # fuzz, in fail-fast order.
-verify: fmt-check vet build test race-par race-session race-matbgp race-delta fuzz-delta
+verify: fmt-check vet build test race-par race-session race-matbgp race-delta race-serve fuzz-delta
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -120,15 +131,21 @@ bench:
 # N for each new baseline (BENCH_1.json is the first committed one;
 # BENCH_3.json adds the session benchmarks; BENCH_4.json adds the matbgp
 # engine; BENCH_5.json adds the incremental delta-repair benchmarks and
-# the engine/workers/commit metadata header).
-N ?= 5
+# the engine/workers/commit metadata header; BENCH_6.json adds the
+# serving layer's sustained-throughput probes, whose queries/s custom
+# metric lands in each record's "extra" map). The serve benchmarks get
+# their own benchtime: one op is one HTTP round trip, so a few hundred
+# ops are needed for a sustained queries/s figure.
+N ?= 6
 BENCHTIME ?= 1x
+SERVEBENCHTIME ?= 500x
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	{ $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ . ; \
 	  $(GO) test -bench='EFTraceReplay|Fig3AnycastSweep|SiteDensitySweep' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/core/ ; \
 	  $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/session/ ; \
-	  $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/matbgp/ ; } \
+	  $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/matbgp/ ; \
+	  $(GO) test -bench=. -benchmem -benchtime=$(SERVEBENCHTIME) -run=^$$ ./internal/serve/ ; } \
 	  | /tmp/benchjson -o BENCH_$(N).json
 
 clean:

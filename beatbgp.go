@@ -50,6 +50,9 @@ type (
 	Config = core.Config
 	// Scenario is a fully built simulation world.
 	Scenario = core.Scenario
+	// World is a frozen, concurrently-queryable Scenario view — the
+	// serving layer's handle (see Scenario.Freeze and internal/serve).
+	World = core.World
 	// Result is one experiment's output: named series (figure lines) and
 	// tables (reported statistics).
 	Result = core.Result

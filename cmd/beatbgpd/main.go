@@ -1,0 +1,119 @@
+// Command beatbgpd is the long-running route/latency oracle: it builds
+// a world from the content-keyed build graph, freezes it, and answers
+// concurrent HTTP/JSON queries until drained.
+//
+// Usage:
+//
+//	beatbgpd [-addr HOST:PORT] [-seed N] [-days N] [-eyeballs N]
+//	         [-workers N] [-engine matbgp|oracle] [-hold SEC] [-bfd]
+//
+// The query surface (see internal/serve):
+//
+//	GET  /world                          world shape + content key
+//	GET  /catchment?prefix=N[&epoch=E]   client prefix → front-end site
+//	GET  /latency?prefix=N[&t=MIN]       BGP-preferred vs best alternate
+//	POST /whatif                         deltas + nested query on a scratch chain
+//	GET  /epoch · POST /epoch            read / advance the live fault timeline
+//
+// Every response is byte-identical to the library answer for the same
+// query against the same world key — engine choice, concurrency, and
+// restarts never change bytes. SIGINT/SIGTERM drains gracefully:
+// in-flight requests get a grace period to finish, a second signal
+// force-quits. Status lines go to stderr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"beatbgp"
+	"beatbgp/internal/serve"
+)
+
+// drainGrace is how long in-flight requests may keep running after a
+// drain signal — the same discipline as cmd/beatbgp's supervisor.
+const drainGrace = 3 * time.Second
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "beatbgpd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8379", "listen address for the query surface")
+		seed     = flag.Uint64("seed", 42, "world seed; the frozen world is deterministic in it")
+		days     = flag.Int("days", 0, "override Edge-Fabric trace length in days (default 10)")
+		eyeballs = flag.Int("eyeballs", 0, "override eyeball ASes per region (default 20)")
+		workers  = flag.Int("workers", 0, "parallel worker budget for the world build; 0 means GOMAXPROCS")
+		engine   = flag.String("engine", "", "route engine: matbgp (default) or oracle; answers are bit-identical")
+		hold     = flag.Float64("hold", 0, "BGP hold timer in seconds for the session layer; 0 means the 36s default")
+		bfd      = flag.Bool("bfd", false, "enable BFD fast failure detection on every session")
+	)
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (flags only)", flag.Args())
+	}
+	if *days < 0 || *eyeballs < 0 || *workers < 0 || *hold < 0 {
+		return fmt.Errorf("-days, -eyeballs, -workers and -hold must be non-negative")
+	}
+
+	cfg := beatbgp.Config{Seed: *seed, Workers: *workers, Engine: *engine}
+	if *days > 0 {
+		cfg.Workload.Days = *days
+	}
+	if *eyeballs > 0 {
+		cfg.Topology.EyeballsPerRegion = *eyeballs
+	}
+	if *hold > 0 {
+		cfg.Session.HoldSec = *hold
+	}
+	cfg.Session.BFD = *bfd
+
+	t0 := time.Now()
+	s, err := beatbgp.NewScenario(cfg)
+	if err != nil {
+		return err
+	}
+	w, err := s.Freeze()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "beatbgpd: world %s frozen in %v (%d ASes, %d prefixes, %d epochs)\n",
+		w.Key, time.Since(t0).Round(time.Millisecond), w.Topo.NumASes(), len(w.Topo.Prefixes), w.Epochs.Len())
+
+	srv := serve.New(w)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "beatbgpd: serving on http://%s\n", bound)
+
+	// Drain on SIGINT/SIGTERM: stop accepting, give in-flight requests
+	// drainGrace to finish, then cut the rest. A second signal
+	// force-quits immediately.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "beatbgpd: %v: draining (in-flight requests get %v; repeat to force-quit)\n", got, drainGrace)
+	go func() {
+		<-sig
+		os.Exit(130)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "beatbgpd: drained")
+	return nil
+}

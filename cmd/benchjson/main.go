@@ -41,6 +41,9 @@ type Record struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. the serving layer's
+	// "queries/s" sustained-throughput figure), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Document is the emitted file: environment header plus sorted records.
@@ -58,8 +61,11 @@ type Document struct {
 }
 
 var (
-	benchHead  = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\b(.*)`)
-	metricPair = regexp.MustCompile(`(\S+)\s+(ns/op|B/op|allocs/op)`)
+	benchHead = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\b(.*)`)
+	// metricPair matches every "value unit" pair on a benchmark line:
+	// the three standard units fill the typed fields, anything else
+	// (custom b.ReportMetric units like "queries/s") lands in Extra.
+	metricPair = regexp.MustCompile(`(\S+)\s+([A-Za-z][\w./%-]*)`)
 )
 
 // parse eats the full test stream. It returns the document plus the
@@ -102,6 +108,11 @@ func parse(sc *bufio.Scanner) (Document, int, error) {
 					rec.BytesPerOp = v
 				case "allocs/op":
 					rec.AllocsPerOp = v
+				default:
+					if rec.Extra == nil {
+						rec.Extra = map[string]float64{}
+					}
+					rec.Extra[pm[2]] = v
 				}
 			}
 			doc.Benchmarks = append(doc.Benchmarks, rec)

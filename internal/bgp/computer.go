@@ -44,6 +44,11 @@ func (r *Reference) ComputeWithout(anns []Announcement, down map[int]bool) (*RIB
 // must equal ComputeWithout(anns, cumulative down set) in every query —
 // incremental engines may repair only what changed, but never
 // approximately.
+//
+// Concurrency: one RouteRepairer is a single-goroutine object, but
+// distinct repairers over one Computer are independent — StartRepair
+// may be called concurrently, and chains started in parallel must not
+// share mutable workspace (each owns its repair scratch).
 type RouteRepairer interface {
 	// Apply folds one topology delta into the carried state.
 	Apply(d delta.Delta) error

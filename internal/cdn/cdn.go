@@ -17,9 +17,9 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"beatbgp/internal/bgp"
-	"beatbgp/internal/delta"
 	"beatbgp/internal/geo"
 	"beatbgp/internal/netpath"
 	"beatbgp/internal/netsim"
@@ -133,12 +133,9 @@ type CDN struct {
 
 	// Epoch layer (epoch.go): the compiled fault schedule and the
 	// per-announcement-set repair chains and epoch-keyed caches built
-	// against it.
-	epochMu   sync.Mutex
-	epochSeq  *delta.Sequence
-	anyChain  *epochChain
-	uniChains []*epochChain
-	physAt    map[physEpochKey]physEpochVal
+	// against it, published as one atomically-swapped snapshot so
+	// SetEpochs invalidates without racing in-flight queries.
+	epochSt atomic.Pointer[epochState]
 }
 
 // UseEngine selects the route computation engine behind the RIB caches.

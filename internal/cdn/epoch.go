@@ -3,6 +3,8 @@ package cdn
 import (
 	"fmt"
 
+	"sync"
+
 	"beatbgp/internal/bgp"
 	"beatbgp/internal/delta"
 	"beatbgp/internal/netpath"
@@ -25,14 +27,54 @@ import (
 // answer every query exactly like Compute(With)out at the epoch's
 // cumulative down set — repair is an engine property, never a semantic
 // one (see bgp.RouteRepairer).
+//
+// Concurrency: all epoch state built against one installed sequence
+// lives in a single immutable-once-published epochState, swapped
+// atomically by SetEpochs. A query loads the pointer once and answers
+// entirely against that snapshot, so a racing SetEpochs can never pair
+// a stale RIB with a new sequence's epoch index — in-flight queries
+// finish against the old state, later ones see only the new one.
+// Within a state, materialized RIBs are handed out through per-(chain,
+// epoch) futures: the first caller computes while only its own chain's
+// repairer lock is held, duplicates wait on the future, and readers of
+// other chains or of already-materialized epochs never block behind an
+// in-flight repair.
+
+// epochState is everything built against one installed epoch sequence.
+// It is published atomically via CDN.epochSt; the maps inside are
+// guarded by mu, which is never held across a repair or a forwarding
+// walk.
+type epochState struct {
+	seq *delta.Sequence
+
+	mu        sync.Mutex // guards chain rib maps and physAt; never held during compute
+	anyChain  *epochChain
+	uniChains []*epochChain
+	physAt    map[physEpochKey]physEpochVal
+}
 
 // epochChain carries one announcement set's routing state across the
-// epoch sequence: a repairer positioned at epoch `at`, plus the RIBs
-// already materialized. Guarded by CDN.epochMu.
+// epoch sequence: a repairer positioned at epoch `at` (created lazily
+// on first use, positioned at epoch 0's down set), plus futures for
+// every epoch whose RIB has been requested. The ribs map is guarded by
+// epochState.mu; rep/at by the chain's own mu, so advancing one chain
+// never blocks queries against another.
 type epochChain struct {
+	mu   sync.Mutex // serializes repairer creation + advancement
 	rep  bgp.RouteRepairer
 	at   int
-	ribs map[int]*bgp.RIB
+	ribs map[int]*ribFuture
+}
+
+// ribFuture is one epoch's materializing RIB: the first requester
+// computes and closes done; duplicates block on done and share the
+// result. Failed computations are removed from the chain's map so
+// later callers retry with a fresh repairer instead of caching the
+// error forever.
+type ribFuture struct {
+	done chan struct{}
+	rib  *bgp.RIB
+	err  error
 }
 
 // physEpochKey keys the epoch-aware physical-route cache. Site is the
@@ -48,84 +90,126 @@ type physEpochVal struct {
 	site int
 }
 
+func newEpochState(seq *delta.Sequence, sites int) *epochState {
+	st := &epochState{
+		seq:       seq,
+		anyChain:  &epochChain{ribs: make(map[int]*ribFuture)},
+		uniChains: make([]*epochChain, sites),
+		physAt:    make(map[physEpochKey]physEpochVal),
+	}
+	for i := range st.uniChains {
+		st.uniChains[i] = &epochChain{ribs: make(map[int]*ribFuture)}
+	}
+	return st
+}
+
+// check validates an epoch index against the state's sequence; a nil
+// state means no sequence is installed.
+func (st *epochState) check(e int) error {
+	if st == nil {
+		return fmt.Errorf("cdn: no epoch sequence installed (SetEpochs)")
+	}
+	if e < 0 || e >= st.seq.Len() {
+		return fmt.Errorf("cdn: epoch %d out of range [0,%d)", e, st.seq.Len())
+	}
+	return nil
+}
+
 // SetEpochs installs (or, with nil, removes) the epoch sequence the
-// fault-aware queries repair across, discarding all per-epoch state
-// built against a previous sequence. Install it before fanning out;
-// the epoch queries themselves are safe for concurrent use.
+// fault-aware queries repair across. The swap is atomic: queries in
+// flight finish coherently against the previous sequence's state, and
+// every later query sees only the new sequence with all per-epoch
+// caches discarded. Safe to call concurrently with the epoch queries.
 func (c *CDN) SetEpochs(seq *delta.Sequence) {
-	c.epochMu.Lock()
-	defer c.epochMu.Unlock()
-	c.epochSeq = seq
-	c.anyChain = nil
-	c.uniChains = nil
-	c.physAt = nil
+	if seq == nil {
+		c.epochSt.Store(nil)
+		return
+	}
+	c.epochSt.Store(newEpochState(seq, len(c.Sites)))
 }
 
 // Epochs returns the installed epoch sequence, or nil.
 func (c *CDN) Epochs() *delta.Sequence {
-	c.epochMu.Lock()
-	defer c.epochMu.Unlock()
-	return c.epochSeq
+	if st := c.epochSt.Load(); st != nil {
+		return st.seq
+	}
+	return nil
 }
 
-// advance walks a chain's repairer from its current epoch to epoch e,
-// folding the intermediate deltas forward — or their inversions
-// backward, which is exact because every epoch's delta is normalized
-// against its predecessor. Caller holds epochMu.
-func (c *CDN) advance(ch *epochChain, e int) (*bgp.RIB, error) {
-	if rib := ch.ribs[e]; rib != nil {
-		return rib, nil
+// chainRIB returns the chain's RIB at epoch e through the per-epoch
+// singleflight: the hit path touches only the state lock, the miss
+// path repairs under the chain's own lock with the state lock
+// released, and duplicate concurrent requests for one epoch share a
+// single repair.
+func (c *CDN) chainRIB(st *epochState, ch *epochChain, anns func() []bgp.Announcement, e int) (*bgp.RIB, error) {
+	st.mu.Lock()
+	if f, ok := ch.ribs[e]; ok {
+		st.mu.Unlock()
+		<-f.done
+		return f.rib, f.err
+	}
+	f := &ribFuture{done: make(chan struct{})}
+	ch.ribs[e] = f
+	st.mu.Unlock()
+
+	rib, err := c.advance(st.seq, ch, anns, e)
+	if err != nil {
+		st.mu.Lock()
+		delete(ch.ribs, e)
+		st.mu.Unlock()
+	}
+	f.rib, f.err = rib, err
+	close(f.done)
+	return rib, err
+}
+
+// advance walks the chain's repairer to epoch e, creating it on first
+// use — StartRepair's all-links-up state folded forward by epoch 0's
+// delta, which carries the sequence's initial down set — then folding
+// the intermediate deltas forward, or their inversions backward, which
+// is exact because every epoch's delta is normalized against its
+// predecessor. A failed Apply poisons the repairer, so it is dropped
+// and rebuilt fresh on the next request.
+func (c *CDN) advance(seq *delta.Sequence, ch *epochChain, anns func() []bgp.Announcement, e int) (*bgp.RIB, error) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.rep == nil {
+		rep, err := bgp.StartRepair(c.comp, anns())
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.Apply(seq.Epoch(0).Delta); err != nil {
+			return nil, err
+		}
+		ch.rep, ch.at = rep, 0
 	}
 	for ch.at < e {
-		if err := ch.rep.Apply(c.epochSeq.Epoch(ch.at + 1).Delta); err != nil {
+		if err := ch.rep.Apply(seq.Epoch(ch.at + 1).Delta); err != nil {
+			ch.rep = nil
 			return nil, err
 		}
 		ch.at++
 	}
 	for ch.at > e {
-		if err := ch.rep.Apply(c.epochSeq.Epoch(ch.at).Delta.Invert()); err != nil {
+		if err := ch.rep.Apply(seq.Epoch(ch.at).Delta.Invert()); err != nil {
+			ch.rep = nil
 			return nil, err
 		}
 		ch.at--
 	}
-	rib, err := ch.rep.RIB()
-	if err != nil {
-		return nil, err
-	}
-	ch.ribs[e] = rib
-	return rib, nil
-}
-
-// checkEpoch validates an epoch index against the installed sequence.
-// Caller holds epochMu.
-func (c *CDN) checkEpoch(e int) error {
-	if c.epochSeq == nil {
-		return fmt.Errorf("cdn: no epoch sequence installed (SetEpochs)")
-	}
-	if e < 0 || e >= c.epochSeq.Len() {
-		return fmt.Errorf("cdn: epoch %d out of range [0,%d)", e, c.epochSeq.Len())
-	}
-	return nil
+	return ch.rep.RIB()
 }
 
 // AnycastRIBAt returns the ungroomed anycast RIB repaired to the given
 // epoch of the installed sequence: identical to recomputing from
 // scratch at the epoch's cumulative down set, but the repair chain pays
-// only for what each delta touches.
+// only for what each delta touches. Safe for concurrent use.
 func (c *CDN) AnycastRIBAt(epoch int) (*bgp.RIB, error) {
-	c.epochMu.Lock()
-	defer c.epochMu.Unlock()
-	if err := c.checkEpoch(epoch); err != nil {
+	st := c.epochSt.Load()
+	if err := st.check(epoch); err != nil {
 		return nil, err
 	}
-	if c.anyChain == nil {
-		rep, err := bgp.StartRepair(c.comp, c.Announcements(nil))
-		if err != nil {
-			return nil, err
-		}
-		c.anyChain = &epochChain{rep: rep, ribs: make(map[int]*bgp.RIB)}
-	}
-	return c.advance(c.anyChain, epoch)
+	return c.chainRIB(st, st.anyChain, func() []bgp.Announcement { return c.Announcements(nil) }, epoch)
 }
 
 // UnicastRIBAt returns the site's unicast RIB repaired to the given
@@ -134,39 +218,36 @@ func (c *CDN) UnicastRIBAt(site, epoch int) (*bgp.RIB, error) {
 	if site < 0 || site >= len(c.Sites) {
 		return nil, fmt.Errorf("cdn: site %d out of range", site)
 	}
-	c.epochMu.Lock()
-	defer c.epochMu.Unlock()
-	if err := c.checkEpoch(epoch); err != nil {
+	st := c.epochSt.Load()
+	if err := st.check(epoch); err != nil {
 		return nil, err
 	}
-	if c.uniChains == nil {
-		c.uniChains = make([]*epochChain, len(c.Sites))
-	}
-	if c.uniChains[site] == nil {
-		rep, err := bgp.StartRepair(c.comp, []bgp.Announcement{{Origin: c.Sites[site].AS.ID}})
-		if err != nil {
-			return nil, err
-		}
-		c.uniChains[site] = &epochChain{rep: rep, ribs: make(map[int]*bgp.RIB)}
-	}
-	return c.advance(c.uniChains[site], epoch)
+	return c.chainRIB(st, st.uniChains[site],
+		func() []bgp.Announcement { return []bgp.Announcement{{Origin: c.Sites[site].AS.ID}} }, epoch)
 }
 
-// physAtLookup memoizes a forwarding walk + resolution under an epoch
-// RIB. Caller holds epochMu (the walk itself is cheap relative to a
-// repair, and correctness beats parallel cache fills here).
-func (c *CDN) physAtLookup(key physEpochKey, walk func() (physEpochVal, error)) (physEpochVal, error) {
-	if v, ok := c.physAt[key]; ok {
+// physLookup memoizes a forwarding walk + resolution under an epoch
+// RIB: compute outside the lock (the walk is pure and cheap relative
+// to a repair), first-installed value wins so every caller sees one
+// result.
+func (st *epochState) physLookup(key physEpochKey, walk func() (physEpochVal, error)) (physEpochVal, error) {
+	st.mu.Lock()
+	if v, ok := st.physAt[key]; ok {
+		st.mu.Unlock()
 		return v, nil
 	}
+	st.mu.Unlock()
 	v, err := walk()
 	if err != nil {
 		return physEpochVal{}, err
 	}
-	if c.physAt == nil {
-		c.physAt = make(map[physEpochKey]physEpochVal)
+	st.mu.Lock()
+	if prev, ok := st.physAt[key]; ok {
+		v = prev
+	} else {
+		st.physAt[key] = v
 	}
-	c.physAt[key] = v
+	st.mu.Unlock()
 	return v, nil
 }
 
@@ -175,20 +256,19 @@ func (c *CDN) physAtLookup(key physEpochKey, walk func() (physEpochVal, error)) 
 // epoch in effect at t selects the RIB — returning the latency and the
 // catchment site. The resolved physical route is cached per (epoch,
 // prefix), so sweeping many instants inside one epoch resolves once.
+// The epoch index, RIB, and route cache all come from one atomic state
+// snapshot, so a concurrent SetEpochs cannot mix sequences mid-query.
 func (c *CDN) AnycastRTTAt(sim *netsim.Sim, p topology.Prefix, t float64) (float64, int, error) {
-	c.epochMu.Lock()
-	if c.epochSeq == nil {
-		c.epochMu.Unlock()
+	st := c.epochSt.Load()
+	if st == nil {
 		return 0, 0, fmt.Errorf("cdn: no epoch sequence installed (SetEpochs)")
 	}
-	epoch := c.epochSeq.At(t)
-	c.epochMu.Unlock()
-	rib, err := c.AnycastRIBAt(epoch)
+	epoch := st.seq.At(t)
+	rib, err := c.chainRIB(st, st.anyChain, func() []bgp.Announcement { return c.Announcements(nil) }, epoch)
 	if err != nil {
 		return 0, 0, err
 	}
-	c.epochMu.Lock()
-	v, err := c.physAtLookup(physEpochKey{epoch: epoch, site: -1, prefix: p.ID},
+	v, err := st.physLookup(physEpochKey{epoch: epoch, site: -1, prefix: p.ID},
 		func() (physEpochVal, error) {
 			phys, site, err := c.PhysViaRIB(rib, p)
 			if err != nil {
@@ -196,7 +276,6 @@ func (c *CDN) AnycastRTTAt(sim *netsim.Sim, p topology.Prefix, t float64) (float
 			}
 			return physEpochVal{phys: phys, site: site}, nil
 		})
-	c.epochMu.Unlock()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -208,19 +287,20 @@ func (c *CDN) AnycastRTTAt(sim *netsim.Sim, p topology.Prefix, t float64) (float
 // unicast RIB, and the resolved physical route is cached per (epoch,
 // site, prefix).
 func (c *CDN) UnicastRTTAt(sim *netsim.Sim, p topology.Prefix, site int, t float64) (float64, error) {
-	c.epochMu.Lock()
-	if c.epochSeq == nil {
-		c.epochMu.Unlock()
+	if site < 0 || site >= len(c.Sites) {
+		return 0, fmt.Errorf("cdn: site %d out of range", site)
+	}
+	st := c.epochSt.Load()
+	if st == nil {
 		return 0, fmt.Errorf("cdn: no epoch sequence installed (SetEpochs)")
 	}
-	epoch := c.epochSeq.At(t)
-	c.epochMu.Unlock()
-	rib, err := c.UnicastRIBAt(site, epoch)
+	epoch := st.seq.At(t)
+	rib, err := c.chainRIB(st, st.uniChains[site],
+		func() []bgp.Announcement { return []bgp.Announcement{{Origin: c.Sites[site].AS.ID}} }, epoch)
 	if err != nil {
 		return 0, err
 	}
-	c.epochMu.Lock()
-	v, err := c.physAtLookup(physEpochKey{epoch: epoch, site: site, prefix: p.ID},
+	v, err := st.physLookup(physEpochKey{epoch: epoch, site: site, prefix: p.ID},
 		func() (physEpochVal, error) {
 			r, err := c.forwardRoute(rib, p.Origin, p.City)
 			if err != nil {
@@ -232,7 +312,6 @@ func (c *CDN) UnicastRTTAt(sim *netsim.Sim, p topology.Prefix, site int, t float
 			}
 			return physEpochVal{phys: phys, site: site}, nil
 		})
-	c.epochMu.Unlock()
 	if err != nil {
 		return 0, err
 	}

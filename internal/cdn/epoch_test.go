@@ -1,6 +1,8 @@
 package cdn
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"beatbgp/internal/bgp"
@@ -165,6 +167,143 @@ func TestEpochRTTsMatchRebuild(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("no reachable prefixes checked for unicast")
+	}
+}
+
+// TestEpochInitialDownSet: a sequence whose epoch 0 already has links
+// down (events at or before t0) must be honored — epoch 0's delta
+// carries the initial down set, and the chain folds it in when the
+// repairer is created, so AnycastRIBAt(0) is not the all-up RIB.
+func TestEpochInitialDownSet(t *testing.T) {
+	topo, c := build(t, 5)
+	nbs := topo.Neighbors(c.Sites[0].AS.ID)
+	if len(nbs) < 2 {
+		t.Fatalf("site 0 has %d links, need 2", len(nbs))
+	}
+	la := nbs[0].Link
+	seq, err := delta.Compile([]delta.Event{
+		{At: -5, Link: la, Down: true}, // down before the span opens
+		{At: 30, Link: la, Down: false},
+	}, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.Epoch(0).DownSet(); !got[la] {
+		t.Fatalf("epoch 0 down set %v does not include link %d", got, la)
+	}
+	c.SetEpochs(seq)
+	for e := 0; e < seq.Len(); e++ {
+		rib, err := c.AnycastRIBAt(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.comp.ComputeWithout(c.Announcements(nil), seq.Epoch(e).DownSet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRIB(t, topo, rib, want, "initial-down epoch")
+	}
+}
+
+// TestEpochConcurrentQueries is the epoch-cache race regression: many
+// goroutines read mixed epochs and chains — anycast, unicast, RTT
+// queries — while another goroutine repeatedly reinstalls an equal
+// sequence via SetEpochs. Every answer must match the sequential
+// rebuild (a racing SetEpochs may discard caches but can never pair a
+// stale RIB with a new epoch index), and concurrent readers at
+// different epochs must not deadlock. Run under -race (race-delta).
+func TestEpochConcurrentQueries(t *testing.T) {
+	topo, c := build(t, 5)
+	seq := epochSequence(t, topo, c)
+	c.SetEpochs(seq)
+	sim := netsim.New(topo, netsim.Config{Seed: 5})
+
+	// Sequential truth, computed before the fan-out.
+	anns := c.Announcements(nil)
+	wantAny := make([]*bgp.RIB, seq.Len())
+	wantUni := make([]*bgp.RIB, seq.Len())
+	for e := 0; e < seq.Len(); e++ {
+		var err error
+		if wantAny[e], err = c.comp.ComputeWithout(anns, seq.Epoch(e).DownSet()); err != nil {
+			t.Fatal(err)
+		}
+		if wantUni[e], err = c.comp.ComputeWithout([]bgp.Announcement{{Origin: c.Sites[0].AS.ID}}, seq.Epoch(e).DownSet()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	times := []float64{5, 15, 25, 45}
+	wantMs := make([]float64, len(times))
+	wantSite := make([]int, len(times))
+	wantOK := make([]bool, len(times))
+	p := topo.Prefixes[0]
+	for i, at := range times {
+		ms, site, err := c.RTTViaRIB(sim, wantAny[seq.At(at)], p, at)
+		wantMs[i], wantSite[i], wantOK[i] = ms, site, err == nil
+	}
+
+	const workers = 12
+	const rounds = 8
+	errs := make(chan error, workers*rounds*8)
+	// One goroutine keeps reinstalling a value-equal sequence, so the
+	// swap races real queries but never changes any correct answer.
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.SetEpochs(epochSequence(t, topo, c))
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				e := (w + r) % seq.Len()
+				rib, err := c.AnycastRIBAt(e)
+				if err != nil {
+					errs <- fmt.Errorf("AnycastRIBAt(%d): %v", e, err)
+					return
+				}
+				if g, want := rib.Best(p.Origin), wantAny[e].Best(p.Origin); g.Link != want.Link || g.NextHop != want.NextHop {
+					errs <- fmt.Errorf("AnycastRIBAt(%d): best %+v, want %+v", e, g, want)
+					return
+				}
+				urib, err := c.UnicastRIBAt(0, e)
+				if err != nil {
+					errs <- fmt.Errorf("UnicastRIBAt(0,%d): %v", e, err)
+					return
+				}
+				if g, want := urib.Best(p.Origin), wantUni[e].Best(p.Origin); g.Link != want.Link || g.NextHop != want.NextHop {
+					errs <- fmt.Errorf("UnicastRIBAt(0,%d): best %+v, want %+v", e, g, want)
+					return
+				}
+				ti := (w * rounds * 7 / 3) % len(times)
+				ms, site, err := c.AnycastRTTAt(sim, p, times[ti])
+				if wantOK[ti] != (err == nil) {
+					errs <- fmt.Errorf("AnycastRTTAt(t=%v): err %v, want ok=%v", times[ti], err, wantOK[ti])
+					return
+				}
+				if err == nil && (ms != wantMs[ti] || site != wantSite[ti]) {
+					errs <- fmt.Errorf("AnycastRTTAt(t=%v) = (%v,%d), want (%v,%d)", times[ti], ms, site, wantMs[ti], wantSite[ti])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/cdn"
+	"beatbgp/internal/delta"
+	"beatbgp/internal/dnsmap"
+	"beatbgp/internal/netpath"
+	"beatbgp/internal/netsim"
+	"beatbgp/internal/provider"
+	"beatbgp/internal/session"
+	"beatbgp/internal/topology"
+)
+
+// World is a frozen, concurrently-queryable view of a built Scenario:
+// the immutable artifacts of the build graph (topology, provider, CDN,
+// DNS map, oracle, resolver, route engine) shared by pointer, plus the
+// fault-dynamics pipeline — the session replay installed as the Sim's
+// fault overlay and the compiled epoch sequence installed on both the
+// Sim and the CDN's epoch-keyed caches. Key is the build graph's
+// content key, so two worlds with equal keys answer every query
+// byte-identically (the harness checkpoints on the same invariant).
+//
+// A World is the serving layer's handle (internal/serve): everything
+// reachable from it is either immutable or guarded, so any number of
+// goroutines may query it. What-if mutations must go through scratch
+// bgp.RouteRepairer chains (bgp.StartRepair against Routes), never
+// through the shared caches.
+type World struct {
+	Key string
+	Cfg Config
+
+	Topo   *topology.Topo
+	Prov   *provider.Provider
+	CDN    *cdn.CDN
+	DNS    *dnsmap.Mapping
+	Oracle *bgp.Oracle
+	Res    *netpath.Resolver
+	Routes bgp.Computer
+
+	// Sim is a private simulator over the scenario's config with the
+	// session-replay fault overlay and epoch sequence pre-installed —
+	// queries are safe from any number of goroutines, and no experiment
+	// shares it, so nothing re-installs overlays mid-serve.
+	Sim *netsim.Sim
+
+	// Hist is the session replay of the scenario's fault schedule; its
+	// compiled delta sequence is Epochs, the timeline every epoch-keyed
+	// query (and the serving layer's epoch cursor) walks.
+	Hist   *session.History
+	Epochs *delta.Sequence
+}
+
+// Freeze builds the scenario's fault-dynamics pipeline (once — the
+// same lazily-built state the fault studies share), installs the epoch
+// sequence on the CDN's epoch caches and on a private Sim, and returns
+// the frozen world handle. Call it after the scenario is built and
+// before fanning out concurrent queries; calling it twice returns
+// equivalent handles over the same shared artifacts.
+func (s *Scenario) Freeze() (*World, error) {
+	key, err := WorldKey(s.userCfg)
+	if err != nil {
+		return nil, err
+	}
+	fe, err := s.faultEpochs()
+	if err != nil {
+		return nil, err
+	}
+	sim := netsim.New(s.Topo, s.Cfg.Net)
+	sim.SetFaults(fe.hist)
+	sim.SetEpochs(fe.seq)
+	s.CDN.SetEpochs(fe.seq)
+	return &World{
+		Key:    key,
+		Cfg:    s.Cfg,
+		Topo:   s.Topo,
+		Prov:   s.Prov,
+		CDN:    s.CDN,
+		DNS:    s.DNS,
+		Oracle: s.Oracle,
+		Res:    s.Res,
+		Routes: s.Routes,
+		Sim:    sim,
+		Hist:   fe.hist,
+		Epochs: fe.seq,
+	}, nil
+}

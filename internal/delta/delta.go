@@ -37,6 +37,30 @@ func (d Delta) Invert() Delta {
 	return Delta{Down: append([]int(nil), d.Up...), Up: append([]int(nil), d.Down...)}
 }
 
+// Validate checks that every link ID in the delta indexes a world with
+// nLinks links and that no link is both downed and upped in one delta.
+// Boundary code (the serving layer's what-if endpoint) uses it to
+// reject malformed deltas before they reach a repair chain, which
+// would otherwise silently ignore unknown links.
+func (d Delta) Validate(nLinks int) error {
+	seen := make(map[int]bool, len(d.Down))
+	for _, l := range d.Down {
+		if l < 0 || l >= nLinks {
+			return fmt.Errorf("delta: down link %d out of range [0,%d)", l, nLinks)
+		}
+		seen[l] = true
+	}
+	for _, l := range d.Up {
+		if l < 0 || l >= nLinks {
+			return fmt.Errorf("delta: up link %d out of range [0,%d)", l, nLinks)
+		}
+		if seen[l] {
+			return fmt.Errorf("delta: link %d both down and up in one delta", l)
+		}
+	}
+	return nil
+}
+
 func (d Delta) String() string {
 	return fmt.Sprintf("delta{down:%v up:%v}", d.Down, d.Up)
 }

@@ -20,8 +20,24 @@ type Engine struct {
 	// classCols caches the packed column of each stub class's
 	// representative under a plain announcement (single origin, no
 	// prepend, no suppression, no failed links). Columns are immutable
-	// once installed.
+	// once installed, and the first installed pointer is the one every
+	// caller sees (pointer stability for downstream memos).
 	classCols map[int32][]uint32
+	// inflight holds one future per class whose column is being
+	// computed right now, so duplicate concurrent requests share a
+	// single propagation instead of racing to do the work twice. mu is
+	// never held during the propagation itself.
+	inflight map[int32]*colFlight
+}
+
+// colFlight is a materializing class column: the computing goroutine
+// closes done, waiters share the result. A failed compute is not
+// cached — the flight is removed before done closes, so later requests
+// retry.
+type colFlight struct {
+	done chan struct{}
+	col  []uint32
+	err  error
 }
 
 // NewEngine lowers the topology and returns the batch engine.
@@ -30,7 +46,9 @@ func NewEngine(t *topology.Topo) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{g: g, topo: t, classCols: make(map[int32][]uint32)}, nil
+	return &Engine{g: g, topo: t,
+		classCols: make(map[int32][]uint32),
+		inflight:  make(map[int32]*colFlight)}, nil
 }
 
 // Graph returns the lowered topology, for tests and benchmarks.
@@ -93,22 +111,9 @@ func (e *Engine) columnFor(anns []bgp.Announcement, down map[int]bool) ([]uint32
 func (e *Engine) classColumn(class, origin int32) ([]uint32, error) {
 	g := e.g
 	rep := g.classes[class][0]
-	e.mu.Lock()
-	col, ok := e.classCols[class]
-	e.mu.Unlock()
-	if !ok {
-		var err error
-		col, err = g.column([]bgp.Announcement{{Origin: int(rep)}}, nil)
-		if err != nil {
-			return nil, err
-		}
-		e.mu.Lock()
-		if prev, dup := e.classCols[class]; dup {
-			col = prev // lost a race; keep the installed column
-		} else {
-			e.classCols[class] = col
-		}
-		e.mu.Unlock()
+	col, err := e.repColumn(class, rep)
+	if err != nil {
+		return nil, err
 	}
 	if origin == rep {
 		return col, nil
@@ -127,6 +132,38 @@ func (e *Engine) classColumn(class, origin int32) ([]uint32, error) {
 	}
 	out[rep] = repRow
 	return out, nil
+}
+
+// repColumn returns the cached column of a class representative,
+// propagating on a miss with the engine lock released. Duplicate
+// concurrent misses for the same class coalesce onto one in-flight
+// compute; the computing goroutine installs the column, so the first
+// installed pointer is the one every present and future caller shares.
+func (e *Engine) repColumn(class, rep int32) ([]uint32, error) {
+	e.mu.Lock()
+	if col, ok := e.classCols[class]; ok {
+		e.mu.Unlock()
+		return col, nil
+	}
+	if fl, ok := e.inflight[class]; ok {
+		e.mu.Unlock()
+		<-fl.done
+		return fl.col, fl.err
+	}
+	fl := &colFlight{done: make(chan struct{})}
+	e.inflight[class] = fl
+	e.mu.Unlock()
+
+	col, err := e.g.column([]bgp.Announcement{{Origin: int(rep)}}, nil)
+	e.mu.Lock()
+	delete(e.inflight, class)
+	if err == nil {
+		e.classCols[class] = col
+	}
+	e.mu.Unlock()
+	fl.col, fl.err = col, err
+	close(fl.done)
+	return col, err
 }
 
 // rowForStub decides a stub's best route against an already-settled

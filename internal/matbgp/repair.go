@@ -2,6 +2,7 @@ package matbgp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"beatbgp/internal/bgp"
 	"beatbgp/internal/delta"
@@ -70,10 +71,16 @@ type Repairer struct {
 // RepairScratch is the reusable per-AS workspace of delta repair. Every
 // slot is restored to its zero state between uses, so any number of
 // Repairers over the same Graph can share one scratch as long as they
-// never Apply concurrently. A failed Apply (path-length capacity, which
-// real worlds never approach) poisons the scratch along with its
+// never Apply concurrently — Apply enforces that with the busy flag
+// and returns an error instead of corrupting state if two in-flight
+// repairs alias one scratch. A failed Apply (path-length capacity,
+// which real worlds never approach) poisons the scratch along with its
 // Repairer.
 type RepairScratch struct {
+	// busy marks the scratch as owned by an in-flight Apply; see
+	// Repairer.Apply's aliasing guard.
+	busy atomic.Bool
+
 	isDirty  []bool
 	dirty    []int32
 	queue    []int32
@@ -169,7 +176,18 @@ func (r *Repairer) Down() map[int]bool {
 // Apply transitions the column across one topology delta. On error the
 // Repairer (and its scratch) is poisoned mid-delta and must be
 // discarded.
+//
+// Aliasing guard: a scratch belongs to at most one in-flight Apply.
+// Interleaving Applies on different Repairers sharing a scratch is
+// fine (each Apply leaves every slot zeroed for the next); overlapping
+// them would silently corrupt both columns, so that is detected and
+// refused here rather than left to the race detector.
 func (r *Repairer) Apply(d delta.Delta) error {
+	r.ensureScratch()
+	if !r.sc.busy.CompareAndSwap(false, true) {
+		return fmt.Errorf("matbgp: RepairScratch aliased by a concurrent Apply (one scratch per in-flight repair)")
+	}
+	defer r.sc.busy.Store(false)
 	if err := r.applyDown(d.Down); err != nil {
 		return err
 	}
@@ -708,7 +726,12 @@ type ribRepairer struct {
 	rib        *bgp.RIB
 }
 
-// StartRepair implements bgp.IncrementalComputer.
+// StartRepair implements bgp.IncrementalComputer. It is safe to call
+// concurrently against one Engine: every returned repairer owns a
+// private Repairer whose scratch is allocated lazily for it alone, so
+// repair chains started in parallel never alias workspace state. (The
+// returned RouteRepairer itself is still single-goroutine, per the
+// interface contract.)
 func (e *Engine) StartRepair(anns []bgp.Announcement) (bgp.RouteRepairer, error) {
 	r, err := e.g.NewRepairer(anns, nil)
 	if err != nil {

@@ -244,11 +244,22 @@ func (s *Sim) Clone() *Sim {
 // SetFaults installs (or, with nil, removes) a scheduled fault overlay.
 // The overlay composes with the stochastic processes — it does not replace
 // them — and may be swapped at any time; the underlying stochastic
-// schedules are unaffected.
-func (s *Sim) SetFaults(f FaultOverlay) { s.faults = f }
+// schedules are unaffected. The installation itself is guarded, so a
+// SetFaults racing a Clone (or another accessor) is safe; queries that
+// read the overlay still expect it installed before the fan-out starts,
+// per the type's contract.
+func (s *Sim) SetFaults(f FaultOverlay) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = f
+}
 
 // Faults returns the installed overlay, or nil.
-func (s *Sim) Faults() FaultOverlay { return s.faults }
+func (s *Sim) Faults() FaultOverlay {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.faults
+}
 
 // SetEpochs installs (or, with nil, removes) the compiled epoch sequence
 // of the installed fault overlay — the same schedule the overlay answers
@@ -259,19 +270,28 @@ func (s *Sim) Faults() FaultOverlay { return s.faults }
 // instant queries keep going through the overlay. Install it alongside
 // SetFaults, before fanning out; a Sequence is immutable, so clones
 // share it.
-func (s *Sim) SetEpochs(seq *delta.Sequence) { s.epochs = seq }
+func (s *Sim) SetEpochs(seq *delta.Sequence) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epochs = seq
+}
 
 // Epochs returns the installed epoch sequence, or nil.
-func (s *Sim) Epochs() *delta.Sequence { return s.epochs }
+func (s *Sim) Epochs() *delta.Sequence {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epochs
+}
 
 // EpochAt returns the index of the epoch in effect at minute t, or -1
 // when no sequence is installed. Instants outside the compiled span
 // clamp to the first or last epoch, mirroring delta.Sequence.At.
 func (s *Sim) EpochAt(t float64) int {
-	if s.epochs == nil {
+	seq := s.Epochs()
+	if seq == nil {
 		return -1
 	}
-	return s.epochs.At(t)
+	return seq.At(t)
 }
 
 // rngFor derives a deterministic generator for one entity, independent of

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Encode is the single JSON encoder for every answer, library or HTTP:
+// deterministic field order (struct-driven), no indentation, one
+// trailing newline. The byte-identity tests compare daemon responses
+// against Encode of the library answer, so handlers must write exactly
+// these bytes.
+func Encode(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ErrorResp is the JSON shape of every failed query.
+type ErrorResp struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP surface:
+//
+//	GET  /world                          world shape + content key
+//	GET  /catchment?prefix=N[&epoch=E]   anycast catchment (default: live cursor)
+//	GET  /latency?prefix=N[&t=MIN]       BGP-preferred vs best alternate (default t: cursor epoch start)
+//	POST /whatif                         WhatIfReq body: deltas + nested query
+//	GET  /epoch                          read the live epoch cursor
+//	POST /epoch                          {"advance":N} or {"set":E} moves it
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/world", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeAnswer(w, s.AnswerWorld(), nil)
+	})
+	mux.HandleFunc("/catchment", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodGet) {
+			return
+		}
+		prefix, err := intParam(r, "prefix", -1)
+		if err == nil && prefix < 0 {
+			err = badQuery("prefix parameter is required")
+		}
+		epoch := -1
+		if err == nil {
+			epoch, err = intParam(r, "epoch", -1)
+		}
+		if err != nil {
+			writeAnswer(w, nil, err)
+			return
+		}
+		resp, err := s.AnswerCatchment(prefix, epoch)
+		writeAnswer(w, resp, err)
+	})
+	mux.HandleFunc("/latency", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodGet) {
+			return
+		}
+		prefix, err := intParam(r, "prefix", -1)
+		if err == nil && prefix < 0 {
+			err = badQuery("prefix parameter is required")
+		}
+		var t float64
+		if err == nil {
+			t, err = floatParam(r, "t", s.w.Epochs.Epoch(s.CurrentEpoch()).Start)
+		}
+		if err != nil {
+			writeAnswer(w, nil, err)
+			return
+		}
+		resp, aerr := s.AnswerLatency(prefix, t)
+		writeAnswer(w, resp, aerr)
+	})
+	mux.HandleFunc("/whatif", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req WhatIfReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeAnswer(w, nil, badQuery("body: %v", err))
+			return
+		}
+		resp, err := s.AnswerWhatIf(req)
+		writeAnswer(w, resp, err)
+	})
+	mux.HandleFunc("/epoch", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			resp, err := s.AnswerEpoch(0, nil)
+			writeAnswer(w, resp, err)
+		case http.MethodPost:
+			var req struct {
+				Advance int  `json:"advance"`
+				Set     *int `json:"set"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeAnswer(w, nil, badQuery("body: %v", err))
+				return
+			}
+			resp, err := s.AnswerEpoch(req.Advance, req.Set)
+			writeAnswer(w, resp, err)
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		}
+	})
+	return mux
+}
+
+func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	return false
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badQuery("%s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, badQuery("%s=%q is not a number", name, v)
+	}
+	return f, nil
+}
+
+// writeAnswer writes the Encode bytes of the answer, or the mapped
+// error: ErrBadQuery → 400, anything else → 500.
+func writeAnswer(w http.ResponseWriter, v any, err error) {
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrBadQuery) {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, err)
+		return
+	}
+	b, err := Encode(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	b, merr := Encode(ErrorResp{Error: err.Error()})
+	if merr != nil {
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}
+
+// httpState is the listener half of a Server, created by Start.
+type httpState struct {
+	hs *http.Server
+	ln net.Listener
+}
+
+// Start listens on addr (e.g. "127.0.0.1:8379", ":0" for an ephemeral
+// port) and serves the query surface in the background until Shutdown.
+// It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	s.httpMu.Lock()
+	if s.http != nil {
+		s.httpMu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("serve: Start called twice (Shutdown first)")
+	}
+	s.http = &httpState{hs: hs, ln: ln}
+	s.httpMu.Unlock()
+	go hs.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Shutdown gracefully drains the listener started by Start: no new
+// connections are accepted, in-flight requests run to completion until
+// ctx expires, then the rest are cut. Safe to call without Start (a
+// no-op) and at most once per Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	st := s.http
+	s.http = nil
+	s.httpMu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.hs.Shutdown(ctx)
+}

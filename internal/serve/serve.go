@@ -1,0 +1,476 @@
+// Package serve is the long-running query layer over a frozen world:
+// the route/latency oracle behind cmd/beatbgpd. It answers the paper's
+// question shapes as cheap concurrent queries against the immutable
+// artifacts of one core.World — client-prefix → front-end catchment,
+// BGP-preferred vs best policy-compliant alternate latency, what-if
+// deltas applied on scratch repair chains, and a live epoch cursor
+// over the session layer's compiled fault timeline.
+//
+// Bit-identity contract: every query has a library form (the Answer*
+// methods) and an HTTP form (Handler); both produce their JSON through
+// Encode, so the daemon's response bytes for a query are identical to
+// the library's answer for the same query — concurrency and transport
+// are delivery properties, never semantic ones. The HTTP layer is in
+// httpd.go.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/core"
+	"beatbgp/internal/delta"
+	"beatbgp/internal/topology"
+)
+
+// ErrBadQuery marks query validation failures (unknown prefix, epoch
+// out of range, malformed delta). The HTTP layer maps it to 400;
+// everything else is a 500.
+var ErrBadQuery = errors.New("bad query")
+
+func badQuery(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadQuery, fmt.Sprintf(format, args...))
+}
+
+// Server answers queries against one frozen world. All methods are
+// safe for concurrent use: the world's artifacts are immutable or
+// guarded, the per-origin egress repair chains live behind a
+// singleflight mirroring the CDN epoch layer's, and what-if queries
+// build private scratch repairers that never touch shared caches.
+type Server struct {
+	w *core.World
+
+	// cur is the live epoch cursor: the epoch catchment queries answer
+	// at unless the request pins one, advanced by the epoch endpoint.
+	cur atomic.Int64
+
+	// Per-origin egress repair chains for the latency query: one
+	// repairer per client-prefix origin walked across the epoch
+	// sequence, RIBs memoized per epoch behind futures so duplicate
+	// concurrent requests repair once.
+	mu     sync.Mutex // guards chains and each chain's ribs map
+	chains map[int]*originChain
+
+	// Listener state (httpd.go): set by Start, cleared by Shutdown.
+	httpMu sync.Mutex
+	http   *httpState
+}
+
+// originChain mirrors the cdn epoch layer's chain: rep/at guarded by
+// the chain's own mu so advancing one origin never blocks another,
+// ribs guarded by Server.mu.
+type originChain struct {
+	mu   sync.Mutex
+	rep  bgp.RouteRepairer
+	at   int
+	ribs map[int]*ribFuture
+}
+
+type ribFuture struct {
+	done chan struct{}
+	rib  *bgp.RIB
+	err  error
+}
+
+// New returns a Server over the frozen world.
+func New(w *core.World) *Server {
+	return &Server{w: w, chains: make(map[int]*originChain)}
+}
+
+// World returns the served world handle.
+func (s *Server) World() *core.World { return s.w }
+
+// prefix validates and resolves a client prefix ID.
+func (s *Server) prefix(id int) (topology.Prefix, error) {
+	if id < 0 || id >= len(s.w.Topo.Prefixes) {
+		return topology.Prefix{}, badQuery("prefix %d out of range [0,%d)", id, len(s.w.Topo.Prefixes))
+	}
+	return s.w.Topo.Prefixes[id], nil
+}
+
+// checkEpoch validates an epoch index against the world's sequence.
+func (s *Server) checkEpoch(e int) error {
+	if e < 0 || e >= s.w.Epochs.Len() {
+		return badQuery("epoch %d out of range [0,%d)", e, s.w.Epochs.Len())
+	}
+	return nil
+}
+
+// CurrentEpoch returns the live epoch cursor.
+func (s *Server) CurrentEpoch() int { return int(s.cur.Load()) }
+
+// egressRIBAt returns the converged RIB toward the origin at the given
+// epoch's cumulative down set, carried by the origin's repair chain.
+func (s *Server) egressRIBAt(origin, epoch int) (*bgp.RIB, error) {
+	s.mu.Lock()
+	ch := s.chains[origin]
+	if ch == nil {
+		ch = &originChain{ribs: make(map[int]*ribFuture)}
+		s.chains[origin] = ch
+	}
+	if f, ok := ch.ribs[epoch]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.rib, f.err
+	}
+	f := &ribFuture{done: make(chan struct{})}
+	ch.ribs[epoch] = f
+	s.mu.Unlock()
+
+	rib, err := s.advance(ch, origin, epoch)
+	if err != nil {
+		s.mu.Lock()
+		delete(ch.ribs, epoch)
+		s.mu.Unlock()
+	}
+	f.rib, f.err = rib, err
+	close(f.done)
+	return rib, err
+}
+
+// advance walks the origin chain's repairer to the epoch, creating it
+// on first use (folding in epoch 0's initial down set, exactly like
+// the cdn epoch layer). A failed Apply poisons the repairer, so it is
+// dropped for a fresh rebuild on retry.
+func (s *Server) advance(ch *originChain, origin, epoch int) (*bgp.RIB, error) {
+	seq := s.w.Epochs
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.rep == nil {
+		rep, err := bgp.StartRepair(s.w.Routes, []bgp.Announcement{{Origin: origin}})
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.Apply(seq.Epoch(0).Delta); err != nil {
+			return nil, err
+		}
+		ch.rep, ch.at = rep, 0
+	}
+	for ch.at < epoch {
+		if err := ch.rep.Apply(seq.Epoch(ch.at + 1).Delta); err != nil {
+			ch.rep = nil
+			return nil, err
+		}
+		ch.at++
+	}
+	for ch.at > epoch {
+		if err := ch.rep.Apply(seq.Epoch(ch.at).Delta.Invert()); err != nil {
+			ch.rep = nil
+			return nil, err
+		}
+		ch.at--
+	}
+	return ch.rep.RIB()
+}
+
+// CatchmentResp answers "which front-end site does BGP anycast hand
+// this client prefix to" at one epoch of the fault timeline.
+type CatchmentResp struct {
+	Query    string `json:"query"`
+	World    string `json:"world"`
+	Prefix   int    `json:"prefix"`
+	Epoch    int    `json:"epoch"`
+	Site     int    `json:"site"`
+	SiteASN  int    `json:"site_asn"`
+	SiteCity int    `json:"site_city"`
+}
+
+// AnswerCatchment resolves the prefix's anycast catchment at the given
+// epoch; epoch < 0 means the live cursor.
+func (s *Server) AnswerCatchment(prefixID, epoch int) (CatchmentResp, error) {
+	p, err := s.prefix(prefixID)
+	if err != nil {
+		return CatchmentResp{}, err
+	}
+	if epoch < 0 {
+		epoch = s.CurrentEpoch()
+	}
+	if err := s.checkEpoch(epoch); err != nil {
+		return CatchmentResp{}, err
+	}
+	rib, err := s.w.CDN.AnycastRIBAt(epoch)
+	if err != nil {
+		return CatchmentResp{}, err
+	}
+	return s.catchmentVia(rib, p, epoch)
+}
+
+func (s *Server) catchmentVia(rib *bgp.RIB, p topology.Prefix, epoch int) (CatchmentResp, error) {
+	_, site, err := s.w.CDN.PhysViaRIB(rib, p)
+	if err != nil {
+		return CatchmentResp{}, badQuery("prefix %d: %v", p.ID, err)
+	}
+	st := s.w.CDN.Sites[site]
+	return CatchmentResp{
+		Query:    "catchment",
+		World:    s.w.Key,
+		Prefix:   p.ID,
+		Epoch:    epoch,
+		Site:     site,
+		SiteASN:  st.AS.ASN,
+		SiteCity: st.City,
+	}, nil
+}
+
+// EgressObs is one measured egress option: the policy-ordered route
+// and its round-trip latency at the query instant.
+type EgressObs struct {
+	Link     int     `json:"link"`
+	Neighbor int     `json:"neighbor"`
+	Class    string  `json:"class"`
+	PathLen  int     `json:"path_len"`
+	RTTMs    float64 `json:"rtt_ms"`
+}
+
+// LatencyResp answers the paper's headline comparison for one client
+// prefix at one instant: what BGP's most-preferred policy-compliant
+// egress delivers vs the best alternate the provider could have used.
+// DeltaMs = preferred − best alternate; positive means BGP is leaving
+// latency on the table.
+type LatencyResp struct {
+	Query     string     `json:"query"`
+	World     string     `json:"world"`
+	Prefix    int        `json:"prefix"`
+	TMin      float64    `json:"t_min"`
+	Epoch     int        `json:"epoch"`
+	PoPCity   int        `json:"pop_city"`
+	Options   int        `json:"options"`
+	Preferred EgressObs  `json:"preferred"`
+	BestAlt   *EgressObs `json:"best_alternate,omitempty"`
+	DeltaMs   float64    `json:"delta_ms"`
+}
+
+// AnswerLatency measures BGP-preferred vs best-alternate latency for
+// the prefix at minute t, with the fault timeline's route changes
+// repaired in (the epoch in effect at t selects the egress RIB).
+func (s *Server) AnswerLatency(prefixID int, t float64) (LatencyResp, error) {
+	p, err := s.prefix(prefixID)
+	if err != nil {
+		return LatencyResp{}, err
+	}
+	epoch := s.w.Epochs.At(t)
+	rib, err := s.egressRIBAt(p.Origin, epoch)
+	if err != nil {
+		return LatencyResp{}, err
+	}
+	return s.latencyVia(rib, p, t, epoch)
+}
+
+// latencyVia measures the options offered by the given toward-prefix
+// RIB. Shared by the timeline and what-if paths; resolution mirrors
+// workload.Generator.Observe (egress pinned at the serving PoP,
+// unresolvable options skipped).
+func (s *Server) latencyVia(rib *bgp.RIB, p topology.Prefix, t float64, epoch int) (LatencyResp, error) {
+	pop := s.w.Prov.ServingPoP(p.City)
+	opts := s.w.Prov.EgressOptions(rib, pop)
+	var obs []EgressObs
+	for _, opt := range opts {
+		phys, err := s.w.Res.ResolvePinned(opt.Route, pop, p.City, pop)
+		if err != nil {
+			continue
+		}
+		obs = append(obs, EgressObs{
+			Link:     opt.Link,
+			Neighbor: opt.Neighbor,
+			Class:    opt.Class.String(),
+			PathLen:  opt.Route.PathLen(),
+			RTTMs:    s.w.Sim.RouteRTTMs(phys, p, t),
+		})
+	}
+	if len(obs) == 0 {
+		return LatencyResp{}, badQuery("prefix %d: no resolvable egress route at PoP city %d", p.ID, pop)
+	}
+	resp := LatencyResp{
+		Query:     "latency",
+		World:     s.w.Key,
+		Prefix:    p.ID,
+		TMin:      t,
+		Epoch:     epoch,
+		PoPCity:   pop,
+		Options:   len(obs),
+		Preferred: obs[0],
+	}
+	for i := 1; i < len(obs); i++ {
+		if resp.BestAlt == nil || obs[i].RTTMs < resp.BestAlt.RTTMs {
+			alt := obs[i]
+			resp.BestAlt = &alt
+		}
+	}
+	if resp.BestAlt != nil {
+		resp.DeltaMs = resp.Preferred.RTTMs - resp.BestAlt.RTTMs
+	}
+	return resp, nil
+}
+
+// WhatIfReq is a hypothetical: a list of topology deltas folded, in
+// order, into a scratch repair chain over the all-links-up baseline,
+// then one catchment or latency query answered under the result. The
+// shared world is never mutated.
+type WhatIfReq struct {
+	Deltas []delta.Delta `json:"deltas"`
+	Kind   string        `json:"kind"` // "catchment" | "latency"
+	Prefix int           `json:"prefix"`
+	TMin   float64       `json:"t_min"` // latency only
+}
+
+// WhatIfResp carries the hypothetical's cumulative down set and the
+// nested answer.
+type WhatIfResp struct {
+	Query     string         `json:"query"`
+	World     string         `json:"world"`
+	Kind      string         `json:"kind"`
+	Down      []int          `json:"down"`
+	Catchment *CatchmentResp `json:"catchment,omitempty"`
+	Latency   *LatencyResp   `json:"latency,omitempty"`
+}
+
+// AnswerWhatIf applies the request's deltas on a private repair chain
+// (bgp.StartRepair against the world's engine — incremental engines
+// repair, others rebuild; answers are bit-identical either way) and
+// answers the nested query against the resulting RIB.
+func (s *Server) AnswerWhatIf(req WhatIfReq) (WhatIfResp, error) {
+	p, err := s.prefix(req.Prefix)
+	if err != nil {
+		return WhatIfResp{}, err
+	}
+	nLinks := len(s.w.Topo.Links)
+	for i, d := range req.Deltas {
+		if err := d.Validate(nLinks); err != nil {
+			return WhatIfResp{}, badQuery("delta %d: %v", i, err)
+		}
+	}
+	var anns []bgp.Announcement
+	switch req.Kind {
+	case "catchment":
+		anns = s.w.CDN.Announcements(nil)
+	case "latency":
+		anns = []bgp.Announcement{{Origin: p.Origin}}
+	default:
+		return WhatIfResp{}, badQuery("kind %q is not a what-if query (catchment, latency)", req.Kind)
+	}
+	rep, err := bgp.StartRepair(s.w.Routes, anns)
+	if err != nil {
+		return WhatIfResp{}, err
+	}
+	down := map[int]bool{}
+	for _, d := range req.Deltas {
+		if err := rep.Apply(d); err != nil {
+			return WhatIfResp{}, err
+		}
+		down = delta.Apply(down, d)
+	}
+	rib, err := rep.RIB()
+	if err != nil {
+		return WhatIfResp{}, err
+	}
+	resp := WhatIfResp{Query: "whatif", World: s.w.Key, Kind: req.Kind, Down: sortedLinks(down)}
+	switch req.Kind {
+	case "catchment":
+		c, err := s.catchmentVia(rib, p, -1)
+		if err != nil {
+			return WhatIfResp{}, err
+		}
+		c.Epoch = -1 // hypothetical state, not a timeline epoch
+		resp.Catchment = &c
+	case "latency":
+		l, err := s.latencyVia(rib, p, req.TMin, -1)
+		if err != nil {
+			return WhatIfResp{}, err
+		}
+		resp.Latency = &l
+	}
+	return resp, nil
+}
+
+// EpochResp describes one position of the live fault/session timeline.
+type EpochResp struct {
+	Query    string  `json:"query"`
+	World    string  `json:"world"`
+	Epoch    int     `json:"epoch"`
+	Epochs   int     `json:"epochs"`
+	StartMin float64 `json:"start_min"`
+	EndMin   float64 `json:"end_min"`
+	Down     []int   `json:"down"`
+}
+
+// AnswerEpoch reads or moves the live epoch cursor: advance is a
+// relative move (0 reads), set pins an absolute epoch (nil leaves the
+// cursor to advance). Out-of-range moves are rejected, the cursor
+// unchanged.
+func (s *Server) AnswerEpoch(advance int, set *int) (EpochResp, error) {
+	seq := s.w.Epochs
+	for {
+		cur := s.cur.Load()
+		next := cur + int64(advance)
+		if set != nil {
+			next = int64(*set)
+		}
+		if next < 0 || next >= int64(seq.Len()) {
+			return EpochResp{}, badQuery("epoch %d out of range [0,%d)", next, seq.Len())
+		}
+		if s.cur.CompareAndSwap(cur, next) {
+			return s.epochResp(int(next)), nil
+		}
+	}
+}
+
+func (s *Server) epochResp(e int) EpochResp {
+	seq := s.w.Epochs
+	ep := seq.Epoch(e)
+	end := seq.End()
+	if e+1 < seq.Len() {
+		end = seq.Epoch(e + 1).Start
+	}
+	return EpochResp{
+		Query:    "epoch",
+		World:    s.w.Key,
+		Epoch:    e,
+		Epochs:   seq.Len(),
+		StartMin: ep.Start,
+		EndMin:   end,
+		Down:     append([]int{}, ep.Down...),
+	}
+}
+
+// WorldResp summarizes the served world.
+type WorldResp struct {
+	Query    string `json:"query"`
+	World    string `json:"world"`
+	Engine   string `json:"engine"`
+	ASes     int    `json:"ases"`
+	Links    int    `json:"links"`
+	Sites    int    `json:"sites"`
+	Prefixes int    `json:"prefixes"`
+	Epochs   int    `json:"epochs"`
+}
+
+// AnswerWorld reports the frozen world's shape and content key.
+func (s *Server) AnswerWorld() WorldResp {
+	return WorldResp{
+		Query:    "world",
+		World:    s.w.Key,
+		Engine:   s.w.Cfg.Engine,
+		ASes:     s.w.Topo.NumASes(),
+		Links:    len(s.w.Topo.Links),
+		Sites:    len(s.w.CDN.Sites),
+		Prefixes: len(s.w.Topo.Prefixes),
+		Epochs:   s.w.Epochs.Len(),
+	}
+}
+
+// sortedLinks flattens a down set into a sorted slice (empty, not nil,
+// so the JSON field is always an array).
+func sortedLinks(down map[int]bool) []int {
+	out := make([]int, 0, len(down))
+	for l, v := range down {
+		if v {
+			out = append(out, l)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
