@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race race-par race-session race-matbgp race-delta race-serve fuzz fuzz-par fuzz-session fuzz-matbgp fuzz-delta stress-par stress-session stress-harness verify bench bench-json clean
+.PHONY: all build vet fmt-check test race race-par race-session race-matbgp race-delta race-serve fuzz fuzz-par fuzz-session fuzz-matbgp fuzz-delta stress-par stress-session stress-harness stress-serve verify bench bench-json clean
 
 all: vet fmt-check build test
 
@@ -116,10 +116,20 @@ stress-session:
 stress-harness:
 	STRESS_HARNESS=1 $(GO) test -run 'TestStressKillResume' -v -timeout 10m ./cmd/beatbgp/
 
+# Overload soak: a flash-crowd loadgen fleet (1M synthetic clients, 5x
+# burst) drives a live listener far past its admission capacity while
+# chaos stalls and errors hit the repair chains, with the race detector
+# watching. Passing means every refusal was typed (429/503/504, no
+# transport errors), the admitted-query p99 stayed bounded by the
+# serving deadline, fallback answers were marked degraded, and the
+# daemon returned to its pre-soak goroutine count.
+stress-serve:
+	STRESS_SERVE=1 $(GO) test -race -run 'TestStressServeOverload' -v -timeout 10m ./internal/serve/
+
 # The full pre-merge gate: formatting, static checks, build, the whole
-# test suite, the race-focused passes, and the delta-repair differential
-# fuzz, in fail-fast order.
-verify: fmt-check vet build test race-par race-session race-matbgp race-delta race-serve fuzz-delta
+# test suite, the race-focused passes, the delta-repair differential
+# fuzz, and the race-enabled overload soak, in fail-fast order.
+verify: fmt-check vet build test race-par race-session race-matbgp race-delta race-serve fuzz-delta stress-serve
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -133,19 +143,26 @@ bench:
 # engine; BENCH_5.json adds the incremental delta-repair benchmarks and
 # the engine/workers/commit metadata header; BENCH_6.json adds the
 # serving layer's sustained-throughput probes, whose queries/s custom
-# metric lands in each record's "extra" map). The serve benchmarks get
-# their own benchtime: one op is one HTTP round trip, so a few hundred
-# ops are needed for a sustained queries/s figure.
-N ?= 6
+# metric lands in each record's "extra" map; BENCH_7.json adds the
+# overload benchmark, whose sessions/s, admitted-tail p50_ms/p99_ms/
+# p999_ms, and shed_pct metrics land in the extra map). The serve
+# benchmarks get their own benchtime: one op is one HTTP round trip,
+# so a few hundred ops are needed for a sustained queries/s figure.
+# The overload probe's op is one offered session — far cheaper — so it
+# needs tens of thousands of ops to hold the gate saturated long
+# enough for a stable shed rate.
+N ?= 7
 BENCHTIME ?= 1x
 SERVEBENCHTIME ?= 500x
+OVERLOADBENCHTIME ?= 20000x
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	{ $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ . ; \
 	  $(GO) test -bench='EFTraceReplay|Fig3AnycastSweep|SiteDensitySweep' -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/core/ ; \
 	  $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/session/ ; \
 	  $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run=^$$ ./internal/matbgp/ ; \
-	  $(GO) test -bench=. -benchmem -benchtime=$(SERVEBENCHTIME) -run=^$$ ./internal/serve/ ; } \
+	  $(GO) test -bench='ServeLatencyQuery|ServeWhatIf' -benchmem -benchtime=$(SERVEBENCHTIME) -run=^$$ ./internal/serve/ ; \
+	  $(GO) test -bench='ServeOverload' -benchmem -benchtime=$(OVERLOADBENCHTIME) -run=^$$ ./internal/serve/ ; } \
 	  | /tmp/benchjson -o BENCH_$(N).json
 
 clean:

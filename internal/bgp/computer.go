@@ -1,6 +1,8 @@
 package bgp
 
 import (
+	"context"
+
 	"beatbgp/internal/delta"
 	"beatbgp/internal/topology"
 )
@@ -54,6 +56,34 @@ type RouteRepairer interface {
 	Apply(d delta.Delta) error
 	// RIB returns the converged RIB at the current epoch.
 	RIB() (*RIB, error)
+}
+
+// ContextRepairer is implemented by RouteRepairers whose Apply can be
+// cancelled between internal repair stages. Cancellation is a delivery
+// property, never a semantic one: a completed ApplyContext is
+// bit-identical to Apply, and a cancelled one returns the context's
+// error with the repairer poisoned exactly like any other failed Apply
+// (callers discard it and rebuild — the serving layer's deadline path
+// depends on this to abandon a stalled chain without corrupting it).
+type ContextRepairer interface {
+	RouteRepairer
+	// ApplyContext is Apply honoring ctx at safe internal boundaries.
+	ApplyContext(ctx context.Context, d delta.Delta) error
+}
+
+// ApplyContext folds the delta through the repairer, honoring ctx: a
+// context-aware repairer checks it between repair stages, anything else
+// gets a single check up front. This is the deadline seam the per-epoch
+// chains (internal/cdn, internal/serve) thread queries' contexts
+// through.
+func ApplyContext(ctx context.Context, rep RouteRepairer, d delta.Delta) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cr, ok := rep.(ContextRepairer); ok {
+		return cr.ApplyContext(ctx, d)
+	}
+	return rep.Apply(d)
 }
 
 // IncrementalComputer is implemented by Computers that can repair routes

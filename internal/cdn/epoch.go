@@ -1,6 +1,7 @@
 package cdn
 
 import (
+	"context"
 	"fmt"
 
 	"sync"
@@ -141,18 +142,25 @@ func (c *CDN) Epochs() *delta.Sequence {
 // path repairs under the chain's own lock with the state lock
 // released, and duplicate concurrent requests for one epoch share a
 // single repair.
-func (c *CDN) chainRIB(st *epochState, ch *epochChain, anns func() []bgp.Announcement, e int) (*bgp.RIB, error) {
+func (c *CDN) chainRIB(ctx context.Context, st *epochState, ch *epochChain, anns func() []bgp.Announcement, e int) (*bgp.RIB, error) {
 	st.mu.Lock()
 	if f, ok := ch.ribs[e]; ok {
 		st.mu.Unlock()
-		<-f.done
-		return f.rib, f.err
+		// A deadline-carrying duplicate stops waiting when its context
+		// expires; the owner keeps computing and later queries still get
+		// the materialized RIB.
+		select {
+		case <-f.done:
+			return f.rib, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	f := &ribFuture{done: make(chan struct{})}
 	ch.ribs[e] = f
 	st.mu.Unlock()
 
-	rib, err := c.advance(st.seq, ch, anns, e)
+	rib, err := c.advance(ctx, st.seq, ch, anns, e)
 	if err != nil {
 		st.mu.Lock()
 		delete(ch.ribs, e)
@@ -170,28 +178,35 @@ func (c *CDN) chainRIB(st *epochState, ch *epochChain, anns func() []bgp.Announc
 // is exact because every epoch's delta is normalized against its
 // predecessor. A failed Apply poisons the repairer, so it is dropped
 // and rebuilt fresh on the next request.
-func (c *CDN) advance(seq *delta.Sequence, ch *epochChain, anns func() []bgp.Announcement, e int) (*bgp.RIB, error) {
+func (c *CDN) advance(ctx context.Context, seq *delta.Sequence, ch *epochChain, anns func() []bgp.Announcement, e int) (*bgp.RIB, error) {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if ch.rep == nil {
 		rep, err := bgp.StartRepair(c.comp, anns())
 		if err != nil {
 			return nil, err
 		}
-		if err := rep.Apply(seq.Epoch(0).Delta); err != nil {
+		if err := bgp.ApplyContext(ctx, rep, seq.Epoch(0).Delta); err != nil {
 			return nil, err
 		}
 		ch.rep, ch.at = rep, 0
 	}
+	// The per-epoch steps thread the query's context down to the engine's
+	// repair-stage boundaries (bgp.ContextRepairer): a deadline hit
+	// mid-chain poisons the repairer like any failed Apply — dropped here,
+	// rebuilt fresh by the next request — never left mid-delta.
 	for ch.at < e {
-		if err := ch.rep.Apply(seq.Epoch(ch.at + 1).Delta); err != nil {
+		if err := bgp.ApplyContext(ctx, ch.rep, seq.Epoch(ch.at+1).Delta); err != nil {
 			ch.rep = nil
 			return nil, err
 		}
 		ch.at++
 	}
 	for ch.at > e {
-		if err := ch.rep.Apply(seq.Epoch(ch.at).Delta.Invert()); err != nil {
+		if err := bgp.ApplyContext(ctx, ch.rep, seq.Epoch(ch.at).Delta.Invert()); err != nil {
 			ch.rep = nil
 			return nil, err
 		}
@@ -205,16 +220,30 @@ func (c *CDN) advance(seq *delta.Sequence, ch *epochChain, anns func() []bgp.Ann
 // scratch at the epoch's cumulative down set, but the repair chain pays
 // only for what each delta touches. Safe for concurrent use.
 func (c *CDN) AnycastRIBAt(epoch int) (*bgp.RIB, error) {
+	return c.AnycastRIBAtContext(context.Background(), epoch)
+}
+
+// AnycastRIBAtContext is AnycastRIBAt honoring ctx: a query that
+// carries a deadline stops waiting on an in-flight repair (the owner
+// finishes and later queries reuse the result) and aborts its own
+// repair at epoch-step boundaries.
+func (c *CDN) AnycastRIBAtContext(ctx context.Context, epoch int) (*bgp.RIB, error) {
 	st := c.epochSt.Load()
 	if err := st.check(epoch); err != nil {
 		return nil, err
 	}
-	return c.chainRIB(st, st.anyChain, func() []bgp.Announcement { return c.Announcements(nil) }, epoch)
+	return c.chainRIB(ctx, st, st.anyChain, func() []bgp.Announcement { return c.Announcements(nil) }, epoch)
 }
 
 // UnicastRIBAt returns the site's unicast RIB repaired to the given
 // epoch, with the same contract as AnycastRIBAt.
 func (c *CDN) UnicastRIBAt(site, epoch int) (*bgp.RIB, error) {
+	return c.UnicastRIBAtContext(context.Background(), site, epoch)
+}
+
+// UnicastRIBAtContext is UnicastRIBAt honoring ctx, with the same
+// cancellation contract as AnycastRIBAtContext.
+func (c *CDN) UnicastRIBAtContext(ctx context.Context, site, epoch int) (*bgp.RIB, error) {
 	if site < 0 || site >= len(c.Sites) {
 		return nil, fmt.Errorf("cdn: site %d out of range", site)
 	}
@@ -222,7 +251,7 @@ func (c *CDN) UnicastRIBAt(site, epoch int) (*bgp.RIB, error) {
 	if err := st.check(epoch); err != nil {
 		return nil, err
 	}
-	return c.chainRIB(st, st.uniChains[site],
+	return c.chainRIB(ctx, st, st.uniChains[site],
 		func() []bgp.Announcement { return []bgp.Announcement{{Origin: c.Sites[site].AS.ID}} }, epoch)
 }
 
@@ -264,7 +293,7 @@ func (c *CDN) AnycastRTTAt(sim *netsim.Sim, p topology.Prefix, t float64) (float
 		return 0, 0, fmt.Errorf("cdn: no epoch sequence installed (SetEpochs)")
 	}
 	epoch := st.seq.At(t)
-	rib, err := c.chainRIB(st, st.anyChain, func() []bgp.Announcement { return c.Announcements(nil) }, epoch)
+	rib, err := c.chainRIB(context.Background(), st, st.anyChain, func() []bgp.Announcement { return c.Announcements(nil) }, epoch)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -295,7 +324,7 @@ func (c *CDN) UnicastRTTAt(sim *netsim.Sim, p topology.Prefix, site int, t float
 		return 0, fmt.Errorf("cdn: no epoch sequence installed (SetEpochs)")
 	}
 	epoch := st.seq.At(t)
-	rib, err := c.chainRIB(st, st.uniChains[site],
+	rib, err := c.chainRIB(context.Background(), st, st.uniChains[site],
 		func() []bgp.Announcement { return []bgp.Announcement{{Origin: c.Sites[site].AS.ID}} }, epoch)
 	if err != nil {
 		return 0, err

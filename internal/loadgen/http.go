@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// HTTPTarget drives a live beatbgpd listener: each query becomes one
+// GET against the daemon's query surface, the HTTP status is the
+// Result code verbatim, and the degraded marker is read out of the
+// response body. Safe for concurrent use (http.Client is).
+type HTTPTarget struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:8379".
+	Base string
+	// Client is the HTTP client to use; nil means
+	// http.DefaultClient. Per-query deadlines arrive via the context
+	// (Config.Deadline), so the client needs no Timeout of its own.
+	Client *http.Client
+}
+
+func (t *HTTPTarget) url(q Query) string {
+	switch q.Kind {
+	case KindCatchment:
+		return fmt.Sprintf("%s/catchment?prefix=%d", t.Base, q.Prefix)
+	default:
+		return fmt.Sprintf("%s/latency?prefix=%d&t=%s", t.Base, q.Prefix,
+			strconv.FormatFloat(q.TMin, 'g', -1, 64))
+	}
+}
+
+// Do implements Target. Transport-level failures (connection refused,
+// context expiry before a status line) report Code 0.
+func (t *HTTPTarget) Do(ctx context.Context, q Query) Result {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url(q), nil)
+	if err != nil {
+		return Result{}
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Result{}
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Degraded bool `json:"degraded"`
+	}
+	// Best effort: error bodies and non-JSON payloads just leave the
+	// marker false. Drain fully so keep-alive connections are reused.
+	if b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); err == nil {
+		_ = json.Unmarshal(b, &body)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return Result{Code: resp.StatusCode, Degraded: body.Degraded}
+}

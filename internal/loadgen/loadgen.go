@@ -1,0 +1,284 @@
+// Package loadgen is the streaming load harness for the serving layer:
+// a deterministic synthetic client fleet — millions of clients, never
+// materialized — whose session arrivals drive a query Target (the
+// serve library via serve.LoadTarget, or a live daemon via HTTPTarget)
+// through an open-loop generator with bounded memory.
+//
+// The fleet is described, not stored: each region holds a share of the
+// clients and a prefix range, and per tick the generator draws the
+// region's session count from a Poisson arrival process whose mean
+// follows a diurnal phase curve plus any flash-crowd/regional-event
+// bursts in effect. Every draw derives from the seed and the (tick,
+// region, arrival) coordinates via xrand.Derive, so the offered query
+// stream — which client, which query kind, which instant — replays
+// exactly at a fixed seed regardless of worker scheduling.
+//
+// The loop is open: arrivals are offered at the configured rate whether
+// or not the target keeps up, and offers that find the dispatch buffer
+// full are dropped client-side — the only way to actually overload a
+// server under test (a closed loop self-throttles). Latencies stream
+// into per-worker stats.Sketch instances (merged at the end), so memory
+// stays O(workers + regions + sketch buckets) no matter how many
+// sessions flow.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"beatbgp/internal/xrand"
+)
+
+// QueryKind selects which serve query a session issues.
+type QueryKind int
+
+const (
+	// KindLatency is the paper's headline query: BGP-preferred vs best
+	// alternate egress latency for the client's prefix.
+	KindLatency QueryKind = iota
+	// KindCatchment asks which anycast front-end the client lands on.
+	KindCatchment
+)
+
+func (k QueryKind) String() string {
+	switch k {
+	case KindLatency:
+		return "latency"
+	case KindCatchment:
+		return "catchment"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", int(k))
+	}
+}
+
+// Query is one synthetic client session's request.
+type Query struct {
+	Kind   QueryKind
+	Prefix int
+	// TMin is the sim instant of the session (latency queries).
+	TMin float64
+}
+
+// Result is the target's verdict on one query, in HTTP status terms so
+// library and HTTP targets report identically: 200 served, 400 bad
+// query, 429 shed, 503 unavailable, 504 deadline, 500 other; 0 means
+// a transport-level failure (connection refused, client-side timeout).
+type Result struct {
+	Code     int
+	Degraded bool
+}
+
+// Target serves one query; implementations must be safe for concurrent
+// use by the runner's workers.
+type Target interface {
+	Do(ctx context.Context, q Query) Result
+}
+
+// Region is one slice of the synthetic fleet.
+type Region struct {
+	// Name labels the region in reports.
+	Name string
+	// Weight is the region's share of the fleet (normalized over the
+	// config's regions; must be positive).
+	Weight float64
+	// PrefixLo/PrefixHi bound the client prefixes of this region's
+	// clients: arrivals draw uniformly from [PrefixLo, PrefixHi).
+	PrefixLo, PrefixHi int
+	// Phase offsets the region's diurnal curve as a fraction of the
+	// period in [0,1) — regions across the planet peak at different
+	// wall instants.
+	Phase float64
+}
+
+// Burst is a flash-crowd or regional-event load multiplier over a tick
+// window.
+type Burst struct {
+	// Region indexes Config.Regions, or -1 for a global (all-region)
+	// flash crowd.
+	Region int
+	// Start/End bound the affected ticks: [Start, End).
+	Start, End int
+	// Mult scales the affected regions' arrival rate (e.g. 5.0).
+	Mult float64
+}
+
+// Config describes the fleet and the run.
+type Config struct {
+	// Seed keys every arrival draw (xrand.Derive).
+	Seed uint64
+	// Clients is the synthetic fleet size — millions are fine, clients
+	// are drawn, never stored.
+	Clients int
+	// SessionRate is each client's base session probability per tick;
+	// a region's per-tick arrival mean is Clients·share·SessionRate
+	// before diurnal/burst scaling.
+	SessionRate float64
+	// Ticks is the run length in generator ticks.
+	Ticks int
+	// TickSimMin is how many sim-minutes one tick advances: it sets
+	// each session's TMin and the diurnal clock. Zero means 1.
+	TickSimMin float64
+	// TickWall, when positive, paces the generator to one tick per
+	// TickWall of wall time; zero offers as fast as possible.
+	TickWall time.Duration
+	// DiurnalAmp in [0,1) modulates arrival rate sinusoidally over
+	// DiurnalPeriodMin (default one day = 1440) with per-region phase.
+	DiurnalAmp       float64
+	DiurnalPeriodMin float64
+	// CatchmentFrac in [0,1] is the share of sessions issuing
+	// catchment queries; the rest issue latency queries.
+	CatchmentFrac float64
+	// Regions partition the fleet. Required.
+	Regions []Region
+	// Bursts are the scheduled load events.
+	Bursts []Burst
+	// Workers is the dispatch concurrency (default 8).
+	Workers int
+	// Buffer is the dispatch queue depth (default 4·Workers); offers
+	// landing on a full buffer are client-side drops.
+	Buffer int
+	// Deadline, when positive, bounds each dispatched query's context.
+	Deadline time.Duration
+	// MaxOffered, when positive, stops the generator after that many
+	// offered sessions — a safety valve for unpaced soaks.
+	MaxOffered int
+}
+
+// Validate rejects configs the generator cannot run deterministically.
+func (c Config) Validate() error {
+	if c.Clients <= 0 {
+		return fmt.Errorf("loadgen: Clients = %d must be positive", c.Clients)
+	}
+	if math.IsNaN(c.SessionRate) || c.SessionRate <= 0 {
+		return fmt.Errorf("loadgen: SessionRate = %v must be positive", c.SessionRate)
+	}
+	if c.Ticks <= 0 {
+		return fmt.Errorf("loadgen: Ticks = %d must be positive", c.Ticks)
+	}
+	if math.IsNaN(c.DiurnalAmp) || c.DiurnalAmp < 0 || c.DiurnalAmp >= 1 {
+		return fmt.Errorf("loadgen: DiurnalAmp = %v must be in [0,1)", c.DiurnalAmp)
+	}
+	if math.IsNaN(c.CatchmentFrac) || c.CatchmentFrac < 0 || c.CatchmentFrac > 1 {
+		return fmt.Errorf("loadgen: CatchmentFrac = %v must be in [0,1]", c.CatchmentFrac)
+	}
+	if len(c.Regions) == 0 {
+		return errors.New("loadgen: at least one region is required")
+	}
+	for i, r := range c.Regions {
+		if math.IsNaN(r.Weight) || r.Weight <= 0 {
+			return fmt.Errorf("loadgen: region %d (%s): Weight = %v must be positive", i, r.Name, r.Weight)
+		}
+		if r.PrefixLo < 0 || r.PrefixHi <= r.PrefixLo {
+			return fmt.Errorf("loadgen: region %d (%s): prefix range [%d,%d) is empty", i, r.Name, r.PrefixLo, r.PrefixHi)
+		}
+		if math.IsNaN(r.Phase) || r.Phase < 0 || r.Phase >= 1 {
+			return fmt.Errorf("loadgen: region %d (%s): Phase = %v must be in [0,1)", i, r.Name, r.Phase)
+		}
+	}
+	for i, b := range c.Bursts {
+		if b.Region < -1 || b.Region >= len(c.Regions) {
+			return fmt.Errorf("loadgen: burst %d: Region = %d out of range [-1,%d)", i, b.Region, len(c.Regions))
+		}
+		if b.End <= b.Start {
+			return fmt.Errorf("loadgen: burst %d: window [%d,%d) is empty", i, b.Start, b.End)
+		}
+		if math.IsNaN(b.Mult) || b.Mult <= 0 {
+			return fmt.Errorf("loadgen: burst %d: Mult = %v must be positive", i, b.Mult)
+		}
+	}
+	return nil
+}
+
+func (c *Config) fillDefaults() {
+	if c.TickSimMin == 0 {
+		c.TickSimMin = 1
+	}
+	if c.DiurnalPeriodMin == 0 {
+		c.DiurnalPeriodMin = 1440
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 4 * c.Workers
+	}
+}
+
+// Gen is the deterministic arrival generator: the pure-workload half of
+// the harness, usable without a runner (the determinism tests replay
+// it directly).
+type Gen struct {
+	cfg       Config
+	weightSum float64
+}
+
+// NewGen validates the config and returns the generator.
+func NewGen(cfg Config) (*Gen, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	g := &Gen{cfg: cfg}
+	for _, r := range cfg.Regions {
+		g.weightSum += r.Weight
+	}
+	return g, nil
+}
+
+// Config returns the generator's (default-filled) config.
+func (g *Gen) Config() Config { return g.cfg }
+
+// rate is region ri's arrival mean at the tick: fleet share times base
+// rate, shaped by the region's diurnal phase and any active bursts.
+func (g *Gen) rate(tick, ri int) float64 {
+	c := &g.cfg
+	r := c.Regions[ri]
+	mean := float64(c.Clients) * (r.Weight / g.weightSum) * c.SessionRate
+	if c.DiurnalAmp > 0 {
+		t := float64(tick) * c.TickSimMin
+		mean *= 1 + c.DiurnalAmp*math.Sin(2*math.Pi*(t/c.DiurnalPeriodMin+r.Phase))
+	}
+	for _, b := range c.Bursts {
+		if tick >= b.Start && tick < b.End && (b.Region == -1 || b.Region == ri) {
+			mean *= b.Mult
+		}
+	}
+	return mean
+}
+
+// Tick emits the tick's arrivals in deterministic order, one emit per
+// session. The draw chain is keyed purely by (seed, tick, region), so
+// tick T's stream is identical across runs and independent of any
+// other tick's.
+func (g *Gen) Tick(tick int, emit func(Query)) {
+	c := &g.cfg
+	tmin := float64(tick) * c.TickSimMin
+	for ri := range c.Regions {
+		rng := xrand.Derive(c.Seed, 0x5e55, uint64(tick), uint64(ri))
+		n := rng.Poisson(g.rate(tick, ri))
+		r := c.Regions[ri]
+		span := r.PrefixHi - r.PrefixLo
+		for i := 0; i < n; i++ {
+			q := Query{Prefix: r.PrefixLo + rng.Intn(span), TMin: tmin}
+			if rng.Bool(c.CatchmentFrac) {
+				q.Kind = KindCatchment
+			}
+			emit(q)
+		}
+	}
+}
+
+// OfferedMean reports the whole run's expected session count — handy
+// for sizing MaxOffered and test budgets.
+func (g *Gen) OfferedMean() float64 {
+	var sum float64
+	for t := 0; t < g.cfg.Ticks; t++ {
+		for ri := range g.cfg.Regions {
+			sum += g.rate(t, ri)
+		}
+	}
+	return sum
+}

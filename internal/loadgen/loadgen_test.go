@@ -1,0 +1,320 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func baseConfig() Config {
+	return Config{
+		Seed:        42,
+		Clients:     100_000,
+		SessionRate: 1e-3, // ~100 sessions/tick across the fleet
+		Ticks:       50,
+		Regions: []Region{
+			{Name: "na", Weight: 2, PrefixLo: 0, PrefixHi: 40, Phase: 0},
+			{Name: "eu", Weight: 1, PrefixLo: 40, PrefixHi: 80, Phase: 0.33},
+			{Name: "apac", Weight: 1, PrefixLo: 80, PrefixHi: 120, Phase: 0.66},
+		},
+		CatchmentFrac: 0.25,
+	}
+}
+
+func collect(t *testing.T, cfg Config) []Query {
+	t.Helper()
+	g, err := NewGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []Query
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		g.Tick(tick, func(q Query) { qs = append(qs, q) })
+	}
+	return qs
+}
+
+// TestGenDeterministic: the offered stream is a pure function of the
+// seed — identical across generators, different across seeds.
+func TestGenDeterministic(t *testing.T) {
+	a := collect(t, baseConfig())
+	b := collect(t, baseConfig())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different query streams")
+	}
+	cfg := baseConfig()
+	cfg.Seed = 43
+	c := collect(t, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical query streams")
+	}
+	if len(a) == 0 {
+		t.Fatal("generator offered nothing")
+	}
+}
+
+// TestGenShape: arrivals respect region prefix ranges and the query mix.
+func TestGenShape(t *testing.T) {
+	cfg := baseConfig()
+	qs := collect(t, cfg)
+	var catchment int
+	for _, q := range qs {
+		if q.Prefix < 0 || q.Prefix >= 120 {
+			t.Fatalf("prefix %d outside all regions", q.Prefix)
+		}
+		if q.Kind == KindCatchment {
+			catchment++
+		}
+		if q.TMin < 0 || q.TMin > float64(cfg.Ticks)*1 {
+			t.Fatalf("TMin %v outside the run window", q.TMin)
+		}
+	}
+	frac := float64(catchment) / float64(len(qs))
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("catchment fraction %.3f, want ~0.25", frac)
+	}
+}
+
+// TestGenPoissonRate: the realized arrival count tracks OfferedMean.
+func TestGenPoissonRate(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Ticks = 200
+	g, err := NewGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		g.Tick(tick, func(Query) { n++ })
+	}
+	want := g.OfferedMean()
+	if math.Abs(float64(n)-want) > 4*math.Sqrt(want) {
+		t.Fatalf("offered %d, expected ~%.0f (Poisson)", n, want)
+	}
+}
+
+// TestGenBurst: a flash-crowd window multiplies its region's arrivals,
+// and only its region's.
+func TestGenBurst(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Ticks = 100
+	quiet, _ := NewGen(cfg)
+	cfg.Bursts = []Burst{{Region: 1, Start: 20, End: 60, Mult: 6}}
+	bursty, _ := NewGen(cfg)
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		for ri := range cfg.Regions {
+			q, b := quiet.rate(tick, ri), bursty.rate(tick, ri)
+			inWindow := tick >= 20 && tick < 60 && ri == 1
+			if inWindow && math.Abs(b-6*q) > 1e-9 {
+				t.Fatalf("tick %d region %d: burst rate %v, want %v", tick, ri, b, 6*q)
+			}
+			if !inWindow && b != q {
+				t.Fatalf("tick %d region %d: rate changed outside burst window", tick, ri)
+			}
+		}
+	}
+}
+
+// TestGenDiurnal: the diurnal curve modulates the rate around the base
+// with per-region phase offsets.
+func TestGenDiurnal(t *testing.T) {
+	cfg := baseConfig()
+	cfg.DiurnalAmp = 0.5
+	cfg.DiurnalPeriodMin = 100
+	cfg.Ticks = 100
+	g, _ := NewGen(cfg)
+	base := float64(cfg.Clients) * (2.0 / 4.0) * cfg.SessionRate // region 0 share
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for tick := 0; tick < 100; tick++ {
+		r := g.rate(tick, 0)
+		lo, hi = math.Min(lo, r), math.Max(hi, r)
+	}
+	if hi < base*1.45 || lo > base*0.55 {
+		t.Fatalf("diurnal swing [%v,%v] around base %v too small for amp 0.5", lo, hi, base)
+	}
+	// Phase-offset regions must not peak at the same tick.
+	peak := func(ri int) int {
+		best, at := math.Inf(-1), 0
+		for tick := 0; tick < 100; tick++ {
+			if r := g.rate(tick, ri); r > best {
+				best, at = r, tick
+			}
+		}
+		return at
+	}
+	if peak(0) == peak(1) {
+		t.Fatal("phase-offset regions peaked at the same tick")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		c := baseConfig()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.Clients = 0 }),
+		mut(func(c *Config) { c.SessionRate = 0 }),
+		mut(func(c *Config) { c.Ticks = 0 }),
+		mut(func(c *Config) { c.DiurnalAmp = 1 }),
+		mut(func(c *Config) { c.CatchmentFrac = 1.5 }),
+		mut(func(c *Config) { c.Regions = nil }),
+		mut(func(c *Config) { c.Regions[0].Weight = -1 }),
+		mut(func(c *Config) { c.Regions[0].PrefixHi = c.Regions[0].PrefixLo }),
+		mut(func(c *Config) { c.Regions[0].Phase = 1 }),
+		mut(func(c *Config) { c.Bursts = []Burst{{Region: 5, Start: 0, End: 1, Mult: 2}} }),
+		mut(func(c *Config) { c.Bursts = []Burst{{Region: 0, Start: 5, End: 5, Mult: 2}} }),
+		mut(func(c *Config) { c.Bursts = []Burst{{Region: 0, Start: 0, End: 1, Mult: 0}} }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+		if _, err := NewGen(c); err == nil {
+			t.Fatalf("NewGen accepted bad config %d", i)
+		}
+	}
+	if err := baseConfig().Validate(); err != nil {
+		t.Fatalf("base config rejected: %v", err)
+	}
+}
+
+// countTarget answers instantly, recording per-code traffic.
+type countTarget struct {
+	calls    atomic.Int64
+	code     int
+	degraded bool
+	delay    time.Duration
+}
+
+func (c *countTarget) Do(ctx context.Context, q Query) Result {
+	c.calls.Add(1)
+	if c.delay > 0 {
+		select {
+		case <-time.After(c.delay):
+		case <-ctx.Done():
+			return Result{Code: 504}
+		}
+	}
+	return Result{Code: c.code, Degraded: c.degraded}
+}
+
+// TestRunAccounting: offered = sent + dropped, codes and degraded
+// counts add up, and the latency profile is populated.
+func TestRunAccounting(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Workers = 4
+	tgt := &countTarget{code: 200, degraded: true}
+	rep, err := Run(context.Background(), cfg, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 || rep.Offered != rep.Sent+rep.Dropped {
+		t.Fatalf("accounting broken: offered %d sent %d dropped %d", rep.Offered, rep.Sent, rep.Dropped)
+	}
+	if int(tgt.calls.Load()) != rep.Sent {
+		t.Fatalf("target saw %d calls, report says %d sent", tgt.calls.Load(), rep.Sent)
+	}
+	if rep.Codes[200] != rep.Sent || rep.Degraded != rep.Sent {
+		t.Fatalf("codes/degraded accounting: %+v degraded %d sent %d", rep.Codes, rep.Degraded, rep.Sent)
+	}
+	if rep.Sketch.N() != uint64(rep.Sent) || rep.OKSketch.N() != uint64(rep.Sent) {
+		t.Fatalf("sketch N %d / OK N %d, want %d", rep.Sketch.N(), rep.OKSketch.N(), rep.Sent)
+	}
+	if rep.SessionsPerSec <= 0 || math.IsNaN(rep.P99Ms) {
+		t.Fatalf("rates not populated: %s", rep.String())
+	}
+	if rep.OK() != rep.Sent || rep.Shed() != 0 || rep.ShedPct() != 0 {
+		t.Fatalf("helper accessors wrong: %s", rep.String())
+	}
+}
+
+// TestRunOpenLoopDrops: a slow target behind a tiny buffer forces
+// client-side drops — the open-loop property that lets the harness
+// actually overload a server.
+func TestRunOpenLoopDrops(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Workers = 1
+	cfg.Buffer = 1
+	cfg.Ticks = 10
+	tgt := &countTarget{code: 200, delay: 2 * time.Millisecond}
+	rep, err := Run(context.Background(), cfg, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Fatalf("slow target dropped nothing: %s", rep.String())
+	}
+	if rep.Sent+rep.Dropped != rep.Offered {
+		t.Fatalf("accounting broken: %s", rep.String())
+	}
+}
+
+// TestRunMillionClientFleet: a two-million-client fleet streams without
+// materializing clients — the run stays fast and memory-bounded because
+// only arrivals exist.
+func TestRunMillionClientFleet(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Clients = 2_000_000
+	cfg.SessionRate = 5e-5 // ~100/tick
+	cfg.Ticks = 20
+	cfg.MaxOffered = 5_000
+	rep, err := Run(context.Background(), cfg, &countTarget{code: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 {
+		t.Fatal("fleet offered nothing")
+	}
+	if rep.Offered > cfg.MaxOffered {
+		t.Fatalf("MaxOffered cap breached: %d > %d", rep.Offered, cfg.MaxOffered)
+	}
+}
+
+// TestRunCancel: cancelling the context stops the run early and still
+// returns the partial report.
+func TestRunCancel(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Ticks = 1_000_000
+	cfg.TickWall = time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	var rep Report
+	go func() {
+		defer close(done)
+		var err error
+		rep, err = Run(ctx, cfg, &countTarget{code: 200})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop after ctx cancellation")
+	}
+	if rep.Offered == 0 {
+		t.Fatal("partial report empty")
+	}
+}
+
+// TestRunDeadline: Config.Deadline bounds each dispatched query's
+// context; a target slower than the deadline reports 504s.
+func TestRunDeadline(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Ticks = 5
+	cfg.Deadline = time.Millisecond
+	tgt := &countTarget{code: 200, delay: 50 * time.Millisecond}
+	rep, err := Run(context.Background(), cfg, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Codes[504] == 0 || rep.Codes[200] != 0 {
+		t.Fatalf("deadline did not cut slow queries: %s", rep.String())
+	}
+}

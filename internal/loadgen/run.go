@@ -1,0 +1,196 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"beatbgp/internal/stats"
+)
+
+// Report is the run's outcome: open-loop accounting (offered vs sent
+// vs client-side drops), per-status-code counts, and the latency
+// profile of everything dispatched, aggregated in a bounded-memory
+// sketch (quantiles accurate to the sketch's relative resolution).
+type Report struct {
+	// Offered is how many sessions the fleet generated; Sent is how
+	// many reached a worker; Dropped (= Offered − Sent) found the
+	// dispatch buffer full — demand the target never saw.
+	Offered, Sent, Dropped int
+	// Codes counts results by HTTP-style status (0 = transport error).
+	Codes map[int]int
+	// Degraded counts answers served from a fallback epoch.
+	Degraded int
+	// Elapsed is the dispatch wall time; SessionsPerSec = Sent/Elapsed.
+	Elapsed        time.Duration
+	SessionsPerSec float64
+	// Latency quantiles (ms) over all dispatched queries, and the
+	// merged sketch itself for custom digests.
+	P50Ms, P99Ms, P999Ms, MeanMs float64
+	Sketch                       *stats.Sketch
+	// The same profile restricted to admitted-and-served queries
+	// (code 200) — the acceptance metric: shed queries answer fast by
+	// design, so the all-query tail can hide an unbounded served tail.
+	OKP50Ms, OKP99Ms, OKP999Ms float64
+	OKSketch                   *stats.Sketch
+}
+
+// OK returns the count of 200s.
+func (r Report) OK() int { return r.Codes[200] }
+
+// Shed returns the count of 429s — admission-gate rejections.
+func (r Report) Shed() int { return r.Codes[429] }
+
+// ShedPct is the shed share of everything dispatched, in percent.
+func (r Report) ShedPct() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return 100 * float64(r.Shed()) / float64(r.Sent)
+}
+
+// String renders a one-line human summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offered %d sent %d dropped %d in %v (%.0f sessions/s)",
+		r.Offered, r.Sent, r.Dropped, r.Elapsed.Round(time.Millisecond), r.SessionsPerSec)
+	codes := make([]int, 0, len(r.Codes))
+	for c := range r.Codes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, " %d:%d", c, r.Codes[c])
+	}
+	fmt.Fprintf(&b, " degraded:%d p50 %.2fms p99 %.2fms p99.9 %.2fms", r.Degraded, r.P50Ms, r.P99Ms, r.P999Ms)
+	return b.String()
+}
+
+// workerStats is one worker's private accumulator — no shared state on
+// the hot path; merged after the run.
+type workerStats struct {
+	sketch   *stats.Sketch
+	okSketch *stats.Sketch
+	codes    map[int]int
+	degraded int
+}
+
+// Run drives the target with the config's fleet: one generator
+// goroutine offering arrivals tick by tick (paced by TickWall when
+// set), Workers dispatch goroutines, client-side drops when the buffer
+// is full. Cancelling ctx stops the run early; the partial report is
+// still returned.
+func Run(ctx context.Context, cfg Config, tgt Target) (Report, error) {
+	g, err := NewGen(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	cfg = g.Config()
+
+	queue := make(chan Query, cfg.Buffer)
+	ws := make([]workerStats, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		ws[w] = workerStats{sketch: stats.NewSketch(), okSketch: stats.NewSketch(), codes: make(map[int]int)}
+		wg.Add(1)
+		go func(st *workerStats) {
+			defer wg.Done()
+			for q := range queue {
+				qctx, cancel := ctx, context.CancelFunc(func() {})
+				if cfg.Deadline > 0 {
+					qctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+				}
+				t0 := time.Now()
+				res := tgt.Do(qctx, q)
+				cancel()
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				st.sketch.Add(ms)
+				if res.Code == 200 {
+					st.okSketch.Add(ms)
+				}
+				st.codes[res.Code]++
+				if res.Degraded {
+					st.degraded++
+				}
+			}
+		}(&ws[w])
+	}
+
+	var offered, sent int
+	var ticker *time.Ticker
+	if cfg.TickWall > 0 {
+		ticker = time.NewTicker(cfg.TickWall)
+		defer ticker.Stop()
+	}
+gen:
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		if ctx.Err() != nil {
+			break
+		}
+		g.Tick(tick, func(q Query) {
+			if cfg.MaxOffered > 0 && offered >= cfg.MaxOffered {
+				return
+			}
+			offered++
+			select {
+			case queue <- q:
+				sent++
+			default:
+				// Open loop: the buffer is full, the client walks away.
+			}
+		})
+		if cfg.MaxOffered > 0 && offered >= cfg.MaxOffered {
+			break
+		}
+		if ticker != nil && tick+1 < cfg.Ticks {
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				break gen
+			}
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	rep := Report{
+		Offered:  offered,
+		Sent:     sent,
+		Dropped:  offered - sent,
+		Codes:    make(map[int]int),
+		Elapsed:  time.Since(start),
+		Sketch:   stats.NewSketch(),
+		OKSketch: stats.NewSketch(),
+	}
+	for i := range ws {
+		if err := rep.Sketch.Merge(ws[i].sketch); err != nil {
+			return Report{}, err
+		}
+		if err := rep.OKSketch.Merge(ws[i].okSketch); err != nil {
+			return Report{}, err
+		}
+		for c, n := range ws[i].codes {
+			rep.Codes[c] += n
+		}
+		rep.Degraded += ws[i].degraded
+	}
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.SessionsPerSec = float64(rep.Sent) / secs
+	}
+	if rep.Sketch.N() > 0 {
+		rep.P50Ms = rep.Sketch.Quantile(0.50)
+		rep.P99Ms = rep.Sketch.Quantile(0.99)
+		rep.P999Ms = rep.Sketch.Quantile(0.999)
+		rep.MeanMs = rep.Sketch.Mean()
+	}
+	if rep.OKSketch.N() > 0 {
+		rep.OKP50Ms = rep.OKSketch.Quantile(0.50)
+		rep.OKP99Ms = rep.OKSketch.Quantile(0.99)
+		rep.OKP999Ms = rep.OKSketch.Quantile(0.999)
+	}
+	return rep, nil
+}

@@ -1,0 +1,128 @@
+package matbgp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"beatbgp/internal/bgp"
+	"beatbgp/internal/delta"
+)
+
+// TestApplyContextBitIdentical: a completed ApplyContext is Apply —
+// cancellation support must never change a single routing word.
+func TestApplyContextBitIdentical(t *testing.T) {
+	topo := repairTopo(t, 3)
+	eng, err := NewEngine(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := []bgp.Announcement{{Origin: 0}}
+	plain, err := eng.StartRepair(anns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := eng.StartRepair(anns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := ctxed.(bgp.ContextRepairer)
+	if !ok {
+		t.Fatal("engine repairer does not implement bgp.ContextRepairer")
+	}
+	deltas := []delta.Delta{
+		{Down: []int{0, 1}},
+		{Up: []int{0}},
+		{Down: []int{2}, Up: []int{1}},
+		{Up: []int{2}},
+	}
+	for i, d := range deltas {
+		if err := plain.Apply(d); err != nil {
+			t.Fatalf("delta %d: Apply: %v", i, err)
+		}
+		if err := cr.ApplyContext(context.Background(), d); err != nil {
+			t.Fatalf("delta %d: ApplyContext: %v", i, err)
+		}
+		a, err := plain.RIB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cr.RIB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for as := 0; as < topo.NumASes(); as++ {
+			ra, rb := a.Best(as), b.Best(as)
+			if ra.Valid != rb.Valid || ra.Link != rb.Link || ra.NextHop != rb.NextHop || len(ra.Path) != len(rb.Path) {
+				t.Fatalf("delta %d AS %d: Apply %+v != ApplyContext %+v", i, as, ra, rb)
+			}
+		}
+	}
+}
+
+// TestApplyContextCancelled: a cancelled ApplyContext returns the
+// context's error and the repairer is treated as poisoned — discarded
+// and rebuilt, the fresh chain answers correctly. Nothing shared with
+// the engine is corrupted.
+func TestApplyContextCancelled(t *testing.T) {
+	topo := repairTopo(t, 4)
+	eng, err := NewEngine(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := []bgp.Announcement{{Origin: 0}}
+	rep, err := eng.StartRepair(anns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := delta.Delta{Down: []int{0, 1}}
+	if err := bgp.ApplyContext(ctx, rep, d); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ApplyContext returned %v, want context.Canceled", err)
+	}
+
+	// The poisoned repairer is discarded; a fresh chain over the same
+	// engine must agree with a from-scratch rebuild.
+	fresh, err := eng.StartRepair(anns)
+	if err != nil {
+		t.Fatalf("restart after poison: %v", err)
+	}
+	if err := fresh.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.RIB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.ComputeWithout(anns, map[int]bool{0: true, 1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for as := 0; as < topo.NumASes(); as++ {
+		g, w := got.Best(as), want.Best(as)
+		if g.Valid != w.Valid || g.Link != w.Link || g.NextHop != w.NextHop {
+			t.Fatalf("AS %d: rebuilt chain %+v != rebuild %+v (engine state corrupted)", as, g, w)
+		}
+	}
+}
+
+// TestApplyContextHelperFallback: bgp.ApplyContext on a non-context
+// repairer (the rebuild fallback) still honors an already-expired
+// context with a single up-front check.
+func TestApplyContextHelperFallback(t *testing.T) {
+	topo := repairTopo(t, 5)
+	ref := bgp.NewReference(topo)
+	rep, err := bgp.StartRepair(ref, []bgp.Announcement{{Origin: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := bgp.ApplyContext(ctx, rep, delta.Delta{Down: []int{0}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired ctx through fallback returned %v", err)
+	}
+	if err := bgp.ApplyContext(context.Background(), rep, delta.Delta{Down: []int{0}}); err != nil {
+		t.Fatalf("live ctx through fallback: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package matbgp
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -183,12 +184,27 @@ func (r *Repairer) Down() map[int]bool {
 // them would silently corrupt both columns, so that is detected and
 // refused here rather than left to the race detector.
 func (r *Repairer) Apply(d delta.Delta) error {
+	return r.ApplyContext(context.Background(), d)
+}
+
+// ApplyContext is Apply honoring ctx at the two step boundaries (before
+// the down-step and between down- and up-step — the column is never
+// abandoned mid-step, so a cancelled Apply leaves the same poisoned-
+// but-consistent scratch state as any other failed Apply and the
+// Repairer must be discarded per the Apply contract).
+func (r *Repairer) ApplyContext(ctx context.Context, d delta.Delta) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	r.ensureScratch()
 	if !r.sc.busy.CompareAndSwap(false, true) {
 		return fmt.Errorf("matbgp: RepairScratch aliased by a concurrent Apply (one scratch per in-flight repair)")
 	}
 	defer r.sc.busy.Store(false)
 	if err := r.applyDown(d.Down); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	return r.applyUp(d.Up)
@@ -751,11 +767,18 @@ func (e *Engine) StartRepair(anns []bgp.Announcement) (bgp.RouteRepairer, error)
 
 // Apply implements bgp.RouteRepairer.
 func (s *ribRepairer) Apply(d delta.Delta) error {
+	return s.ApplyContext(context.Background(), d)
+}
+
+// ApplyContext implements bgp.ContextRepairer: the column repair checks
+// ctx at its step boundaries, so a deadline-carrying query can abandon
+// a stalled chain instead of riding it to completion.
+func (s *ribRepairer) ApplyContext(ctx context.Context, d delta.Delta) error {
 	if d.Empty() {
 		return nil
 	}
 	s.rib = nil
-	return s.r.Apply(d)
+	return s.r.ApplyContext(ctx, d)
 }
 
 // RIB implements bgp.RouteRepairer. The returned RIB owns a snapshot of

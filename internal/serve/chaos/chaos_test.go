@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestQueryDelaySequenceDeterministic: at a fixed seed, the n-th query
+// always draws the same injected delay, regardless of which run (or
+// goroutine) asks — the property that makes chaotic soaks replayable.
+func TestQueryDelaySequenceDeterministic(t *testing.T) {
+	cfg := Config{Seed: 9, LatencyP: 0.5, LatencyMeanMs: 3}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(cfg)
+	var nonzero int
+	for i := 0; i < 500; i++ {
+		da, db := a.QueryDelay(), b.QueryDelay()
+		if da != db {
+			t.Fatalf("query %d: %v vs %v", i, da, db)
+		}
+		if da > 0 {
+			nonzero++
+		}
+		if da < 0 {
+			t.Fatalf("negative delay %v", da)
+		}
+	}
+	if nonzero < 100 || nonzero > 400 {
+		t.Fatalf("LatencyP=0.5 injected %d/500 delays", nonzero)
+	}
+}
+
+// TestRepairFaultPerAttempt: draws are keyed by (chain, epoch, attempt)
+// — two injectors at the same seed agree attempt by attempt, distinct
+// keys draw independently, and the attempt counter advances.
+func TestRepairFaultPerAttempt(t *testing.T) {
+	cfg := Config{Seed: 4, RepairErrP: 0.5, StallP: 0.5, StallMs: 1}
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	keys := []struct{ chain, epoch int }{{-1, 0}, {-1, 3}, {0, 0}, {7, 12}}
+	for _, k := range keys {
+		for attempt := 1; attempt <= 50; attempt++ {
+			sa, ea := a.RepairFault(k.chain, k.epoch)
+			sb, eb := b.RepairFault(k.chain, k.epoch)
+			if sa != sb || (ea == nil) != (eb == nil) {
+				t.Fatalf("chain %d epoch %d attempt %d diverged", k.chain, k.epoch, attempt)
+			}
+			if ea != nil && !errors.Is(ea, ErrInjected) {
+				t.Fatalf("injected error %v is not ErrInjected", ea)
+			}
+		}
+		if got := a.Attempts(k.chain, k.epoch); got != 50 {
+			t.Fatalf("chain %d epoch %d: attempts = %d, want 50", k.chain, k.epoch, got)
+		}
+	}
+	if got := a.Attempts(99, 99); got != 0 {
+		t.Fatalf("untouched key reports %d attempts", got)
+	}
+}
+
+// TestZeroConfigInjectsNothing: the zero config must be a true no-op,
+// including on a nil injector.
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	inj, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if d := inj.QueryDelay(); d != 0 {
+			t.Fatalf("zero config injected delay %v", d)
+		}
+		if s, e := inj.RepairFault(0, 0); s != 0 || e != nil {
+			t.Fatalf("zero config injected fault (%v, %v)", s, e)
+		}
+	}
+	var nilInj *Injector
+	if d := nilInj.QueryDelay(); d != 0 {
+		t.Fatal("nil injector injected a delay")
+	}
+	if s, e := nilInj.RepairFault(0, 0); s != 0 || e != nil {
+		t.Fatal("nil injector injected a fault")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{LatencyP: -0.1},
+		{LatencyP: 1.5},
+		{RepairErrP: 2},
+		{StallP: -1},
+		{LatencyMeanMs: -3},
+		{StallMs: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %+v must be rejected", c)
+		}
+		if _, err := New(c); err == nil {
+			t.Fatalf("New(%+v) must fail", c)
+		}
+	}
+	if err := (Config{Seed: 1, LatencyP: 1, LatencyMeanMs: 5, RepairErrP: 0.5, StallP: 0.5, StallMs: 10}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestSleepHonorsContext: the shared ctx-aware sleep returns early with
+// the context's error — the primitive the deadline tests lean on.
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under cancelled ctx: %v", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep: %v", err)
+	}
+	t0 := time.Now()
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("real sleep: %v", err)
+	}
+	if time.Since(t0) < time.Millisecond {
+		t.Fatal("Sleep returned before its duration")
+	}
+}

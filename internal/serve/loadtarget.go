@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+
+	"beatbgp/internal/loadgen"
+	"beatbgp/internal/serve/chaos"
+)
+
+// LoadTarget adapts the server's library form to the load harness: the
+// harness's queries run straight through the Answer* methods — same
+// admission gate, deadlines, breaker, and chaos seam as the HTTP form
+// — and errors report as the HTTP status the daemon would have sent,
+// so library-form and HTTP-form load runs read identically.
+func (s *Server) LoadTarget() loadgen.Target { return libTarget{s: s} }
+
+type libTarget struct{ s *Server }
+
+func (t libTarget) Do(ctx context.Context, q loadgen.Query) loadgen.Result {
+	// The library half of the transport-latency chaos seam (the HTTP
+	// half is the Handler middleware).
+	if inj := t.s.chaosInj.Load(); inj != nil {
+		if d := inj.QueryDelay(); d > 0 {
+			if err := chaos.Sleep(ctx, d); err != nil {
+				return loadgen.Result{Code: http.StatusGatewayTimeout}
+			}
+		}
+	}
+	switch q.Kind {
+	case loadgen.KindCatchment:
+		resp, err := t.s.AnswerCatchmentContext(ctx, q.Prefix, -1)
+		if err != nil {
+			return loadgen.Result{Code: errStatus(err)}
+		}
+		return loadgen.Result{Code: http.StatusOK, Degraded: resp.Degraded}
+	default:
+		resp, err := t.s.AnswerLatencyContext(ctx, q.Prefix, q.TMin)
+		if err != nil {
+			return loadgen.Result{Code: errStatus(err)}
+		}
+		return loadgen.Result{Code: http.StatusOK, Degraded: resp.Degraded}
+	}
+}
+
+var _ loadgen.Target = libTarget{}

@@ -12,18 +12,32 @@
 // the library's answer for the same query — concurrency and transport
 // are delivery properties, never semantic ones. The HTTP layer is in
 // httpd.go.
+//
+// Overload robustness: queries carry per-query deadlines (Options.
+// QueryTimeout, threaded as context down to the cdn/matbgp repair-step
+// boundaries), admission is bounded (concurrency limit plus a waiting
+// room with deadline-aware shedding — ErrOverload, HTTP 429), and each
+// shared repair chain sits behind a circuit breaker: when a chain
+// fails or stalls, queries fall back to the last successfully
+// installed epoch's answers with an explicit degraded marker, and an
+// open breaker stops hammering the failing chain until a cooldown
+// probe succeeds. Deterministic fault injection for all of this lives
+// in the chaos subpackage (SetChaos).
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"beatbgp/internal/bgp"
 	"beatbgp/internal/core"
 	"beatbgp/internal/delta"
+	"beatbgp/internal/serve/chaos"
 	"beatbgp/internal/topology"
 )
 
@@ -32,8 +46,71 @@ import (
 // everything else is a 500.
 var ErrBadQuery = errors.New("bad query")
 
+// ErrOverload marks queries shed by the admission gate — the server is
+// at its concurrency limit with a full (or deadline-expired) waiting
+// room. The HTTP layer maps it to 429 with a Retry-After header; the
+// query never ran, so retrying is always safe.
+var ErrOverload = errors.New("overloaded")
+
+// ErrDeadline marks queries that were admitted but hit their deadline
+// mid-flight. The HTTP layer maps it to 504. Queries without a
+// deadline (no QueryTimeout and a background context) never see it.
+var ErrDeadline = errors.New("deadline exceeded")
+
+// ErrUnavailable marks queries that could not be answered because a
+// shared repair chain is failing (or its circuit is open) and no
+// previously installed epoch is available to fall back to. The HTTP
+// layer maps it to 503 with a Retry-After header.
+var ErrUnavailable = errors.New("unavailable")
+
 func badQuery(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadQuery, fmt.Sprintf(format, args...))
+}
+
+// Options tunes the server's overload behavior. The zero value is the
+// PR-8 contract: no admission limit, no deadlines, breaker at the
+// defaults.
+type Options struct {
+	// MaxInFlight bounds concurrently executing catchment/latency/
+	// whatif queries; 0 means unlimited (no admission gate).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an execution slot; beyond it
+	// the gate sheds immediately with ErrOverload.
+	MaxQueue int
+	// QueryTimeout is the per-query deadline, applied to every
+	// admitted query (library and HTTP alike); 0 means none.
+	QueryTimeout time.Duration
+	// BreakerThreshold is the consecutive repair-chain failure count
+	// that opens a chain's circuit (0 selects the default of 3,
+	// negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects before
+	// letting one probe through (0 selects the default of 250ms).
+	BreakerCooldown time.Duration
+}
+
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 250 * time.Millisecond
+)
+
+// Option configures a Server at construction.
+type Option func(*Options)
+
+// WithAdmission bounds concurrent query execution to maxInFlight with
+// a waiting room of maxQueue.
+func WithAdmission(maxInFlight, maxQueue int) Option {
+	return func(o *Options) { o.MaxInFlight, o.MaxQueue = maxInFlight, maxQueue }
+}
+
+// WithQueryTimeout sets the per-query deadline.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(o *Options) { o.QueryTimeout = d }
+}
+
+// WithBreaker tunes the repair-chain circuit breaker.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(o *Options) { o.BreakerThreshold, o.BreakerCooldown = threshold, cooldown }
 }
 
 // Server answers queries against one frozen world. All methods are
@@ -42,18 +119,36 @@ func badQuery(format string, args ...any) error {
 // singleflight mirroring the CDN epoch layer's, and what-if queries
 // build private scratch repairers that never touch shared caches.
 type Server struct {
-	w *core.World
+	w    *core.World
+	opts Options
 
 	// cur is the live epoch cursor: the epoch catchment queries answer
 	// at unless the request pins one, advanced by the epoch endpoint.
 	cur atomic.Int64
 
+	// admit is the bounded admission gate (nil when unlimited).
+	admit *admission
+
+	// chaosInj is the deterministic fault injector of the serving
+	// path; nil means no injection. Swappable at runtime (SetChaos).
+	chaosInj atomic.Pointer[chaos.Injector]
+
+	// draining flips /readyz to 503 ahead of the listener drain.
+	draining atomic.Bool
+
 	// Per-origin egress repair chains for the latency query: one
 	// repairer per client-prefix origin walked across the epoch
 	// sequence, RIBs memoized per epoch behind futures so duplicate
-	// concurrent requests repair once.
-	mu     sync.Mutex // guards chains and each chain's ribs map
+	// concurrent requests repair once. Each chain carries its own
+	// circuit breaker and last-good fallback.
+	mu     sync.Mutex // guards chains, each chain's ribs map, and each chain's good
 	chains map[int]*originChain
+
+	// anyBr/lastAny are the anycast (catchment) chain's breaker and
+	// last successfully materialized epoch RIB — the cdn owns the
+	// chain itself, the serving layer owns its overload policy.
+	anyBr   breaker
+	lastAny atomic.Pointer[ribAt]
 
 	// Listener state (httpd.go): set by Start, cleared by Shutdown.
 	httpMu sync.Mutex
@@ -62,12 +157,21 @@ type Server struct {
 
 // originChain mirrors the cdn epoch layer's chain: rep/at guarded by
 // the chain's own mu so advancing one origin never blocks another,
-// ribs guarded by Server.mu.
+// ribs and good guarded by Server.mu.
 type originChain struct {
 	mu   sync.Mutex
 	rep  bgp.RouteRepairer
 	at   int
 	ribs map[int]*ribFuture
+	br   breaker
+	good *ribAt
+}
+
+// ribAt is one chain's last successfully materialized answer state:
+// the degraded-fallback payload.
+type ribAt struct {
+	rib   *bgp.RIB
+	epoch int
 }
 
 type ribFuture struct {
@@ -77,12 +181,44 @@ type ribFuture struct {
 }
 
 // New returns a Server over the frozen world.
-func New(w *core.World) *Server {
-	return &Server{w: w, chains: make(map[int]*originChain)}
+func New(w *core.World, opts ...Option) *Server {
+	o := Options{}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = defaultBreakerThreshold
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = defaultBreakerCooldown
+	}
+	return &Server{
+		w:      w,
+		opts:   o,
+		admit:  newAdmission(o.MaxInFlight, o.MaxQueue),
+		chains: make(map[int]*originChain),
+		anyBr:  newBreaker(o),
+	}
 }
 
 // World returns the served world handle.
 func (s *Server) World() *core.World { return s.w }
+
+// SetChaos installs (or, with nil, removes) the deterministic fault
+// injector on the serving path. Safe to call while serving — it is the
+// middleware seam the overload tests flip mid-run.
+func (s *Server) SetChaos(inj *chaos.Injector) { s.chaosInj.Store(inj) }
+
+// Chaos returns the installed fault injector, or nil.
+func (s *Server) Chaos() *chaos.Injector { return s.chaosInj.Load() }
+
+// queryCtx applies the per-query deadline, if one is configured.
+func (s *Server) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.opts.QueryTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.opts.QueryTimeout)
+}
 
 // prefix validates and resolves a client prefix ID.
 func (s *Server) prefix(id int) (topology.Prefix, error) {
@@ -103,25 +239,82 @@ func (s *Server) checkEpoch(e int) error {
 // CurrentEpoch returns the live epoch cursor.
 func (s *Server) CurrentEpoch() int { return int(s.cur.Load()) }
 
-// egressRIBAt returns the converged RIB toward the origin at the given
-// epoch's cumulative down set, carried by the origin's repair chain.
-func (s *Server) egressRIBAt(origin, epoch int) (*bgp.RIB, error) {
+// chain returns (creating on first use) the origin's repair chain.
+func (s *Server) chain(origin int) *originChain {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	ch := s.chains[origin]
 	if ch == nil {
-		ch = &originChain{ribs: make(map[int]*ribFuture)}
+		ch = &originChain{ribs: make(map[int]*ribFuture), br: newBreaker(s.opts)}
 		s.chains[origin] = ch
 	}
+	return ch
+}
+
+// egressRIBAt returns the converged RIB toward the origin at the given
+// epoch's cumulative down set, carried by the origin's repair chain —
+// or, when the chain fails, stalls past the deadline, or its circuit
+// is open, the chain's last successfully materialized epoch with
+// degraded reported true. The returned epoch is the one actually
+// answered (the fallback's on the degraded path).
+func (s *Server) egressRIBAt(ctx context.Context, origin, epoch int) (rib *bgp.RIB, at int, degraded bool, err error) {
+	ch := s.chain(origin)
+	if !ch.br.allow() {
+		return s.chainFallback(ch, fmt.Errorf("%w: origin %d repair chain circuit open", ErrUnavailable, origin))
+	}
+	rib, err = s.fetchEgressRIB(ctx, ch, origin, epoch)
+	if err == nil {
+		ch.br.success()
+		s.mu.Lock()
+		ch.good = &ribAt{rib: rib, epoch: epoch}
+		s.mu.Unlock()
+		return rib, epoch, false, nil
+	}
+	ch.br.failure()
+	return s.chainFallback(ch, s.chainErr(ctx, err))
+}
+
+// chainFallback answers from the chain's last good epoch, or
+// propagates the chain's error when nothing was ever materialized.
+func (s *Server) chainFallback(ch *originChain, cause error) (*bgp.RIB, int, bool, error) {
+	s.mu.Lock()
+	g := ch.good
+	s.mu.Unlock()
+	if g != nil {
+		return g.rib, g.epoch, true, nil
+	}
+	return nil, 0, false, cause
+}
+
+// chainErr types a repair-chain failure: a deadline hit mid-chain is
+// ErrDeadline, anything else is ErrUnavailable.
+func (s *Server) chainErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return fmt.Errorf("%w: %v", ErrDeadline, err)
+	}
+	return fmt.Errorf("%w: %v", ErrUnavailable, err)
+}
+
+// fetchEgressRIB is the chain's per-epoch singleflight: the first
+// caller repairs (with chaos faults injected at this boundary),
+// duplicates wait on the future until their context expires, failures
+// are dropped for retry.
+func (s *Server) fetchEgressRIB(ctx context.Context, ch *originChain, origin, epoch int) (*bgp.RIB, error) {
+	s.mu.Lock()
 	if f, ok := ch.ribs[epoch]; ok {
 		s.mu.Unlock()
-		<-f.done
-		return f.rib, f.err
+		select {
+		case <-f.done:
+			return f.rib, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	f := &ribFuture{done: make(chan struct{})}
 	ch.ribs[epoch] = f
 	s.mu.Unlock()
 
-	rib, err := s.advance(ch, origin, epoch)
+	rib, err := s.repairEgress(ctx, ch, origin, epoch)
 	if err != nil {
 		s.mu.Lock()
 		delete(ch.ribs, epoch)
@@ -132,33 +325,55 @@ func (s *Server) egressRIBAt(origin, epoch int) (*bgp.RIB, error) {
 	return rib, err
 }
 
+// repairEgress runs one materialization attempt: the chaos seam first
+// (injected stalls honor the query's deadline; injected errors count
+// as chain failures), then the real repair walk.
+func (s *Server) repairEgress(ctx context.Context, ch *originChain, origin, epoch int) (*bgp.RIB, error) {
+	if inj := s.chaosInj.Load(); inj != nil {
+		stall, ierr := inj.RepairFault(origin, epoch)
+		if stall > 0 {
+			if err := chaos.Sleep(ctx, stall); err != nil {
+				return nil, err
+			}
+		}
+		if ierr != nil {
+			return nil, ierr
+		}
+	}
+	return s.advance(ctx, ch, origin, epoch)
+}
+
 // advance walks the origin chain's repairer to the epoch, creating it
 // on first use (folding in epoch 0's initial down set, exactly like
-// the cdn epoch layer). A failed Apply poisons the repairer, so it is
-// dropped for a fresh rebuild on retry.
-func (s *Server) advance(ch *originChain, origin, epoch int) (*bgp.RIB, error) {
+// the cdn epoch layer). The query's context is threaded down to the
+// engine's repair-stage boundaries; a failed or cancelled Apply
+// poisons the repairer, so it is dropped for a fresh rebuild on retry.
+func (s *Server) advance(ctx context.Context, ch *originChain, origin, epoch int) (*bgp.RIB, error) {
 	seq := s.w.Epochs
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if ch.rep == nil {
 		rep, err := bgp.StartRepair(s.w.Routes, []bgp.Announcement{{Origin: origin}})
 		if err != nil {
 			return nil, err
 		}
-		if err := rep.Apply(seq.Epoch(0).Delta); err != nil {
+		if err := bgp.ApplyContext(ctx, rep, seq.Epoch(0).Delta); err != nil {
 			return nil, err
 		}
 		ch.rep, ch.at = rep, 0
 	}
 	for ch.at < epoch {
-		if err := ch.rep.Apply(seq.Epoch(ch.at + 1).Delta); err != nil {
+		if err := bgp.ApplyContext(ctx, ch.rep, seq.Epoch(ch.at+1).Delta); err != nil {
 			ch.rep = nil
 			return nil, err
 		}
 		ch.at++
 	}
 	for ch.at > epoch {
-		if err := ch.rep.Apply(seq.Epoch(ch.at).Delta.Invert()); err != nil {
+		if err := bgp.ApplyContext(ctx, ch.rep, seq.Epoch(ch.at).Delta.Invert()); err != nil {
 			ch.rep = nil
 			return nil, err
 		}
@@ -167,8 +382,49 @@ func (s *Server) advance(ch *originChain, origin, epoch int) (*bgp.RIB, error) {
 	return ch.rep.RIB()
 }
 
+// anycastRIBAt is the catchment path's overload wrapper around the cdn
+// epoch layer's anycast chain: breaker, chaos seam, and last-good
+// fallback, with the same contract as egressRIBAt.
+func (s *Server) anycastRIBAt(ctx context.Context, epoch int) (rib *bgp.RIB, at int, degraded bool, err error) {
+	if !s.anyBr.allow() {
+		return s.anyFallback(fmt.Errorf("%w: anycast repair chain circuit open", ErrUnavailable))
+	}
+	rib, err = s.fetchAnycastRIB(ctx, epoch)
+	if err == nil {
+		s.anyBr.success()
+		s.lastAny.Store(&ribAt{rib: rib, epoch: epoch})
+		return rib, epoch, false, nil
+	}
+	s.anyBr.failure()
+	return s.anyFallback(s.chainErr(ctx, err))
+}
+
+func (s *Server) anyFallback(cause error) (*bgp.RIB, int, bool, error) {
+	if g := s.lastAny.Load(); g != nil {
+		return g.rib, g.epoch, true, nil
+	}
+	return nil, 0, false, cause
+}
+
+func (s *Server) fetchAnycastRIB(ctx context.Context, epoch int) (*bgp.RIB, error) {
+	if inj := s.chaosInj.Load(); inj != nil {
+		stall, ierr := inj.RepairFault(-1, epoch)
+		if stall > 0 {
+			if err := chaos.Sleep(ctx, stall); err != nil {
+				return nil, err
+			}
+		}
+		if ierr != nil {
+			return nil, ierr
+		}
+	}
+	return s.w.CDN.AnycastRIBAtContext(ctx, epoch)
+}
+
 // CatchmentResp answers "which front-end site does BGP anycast hand
-// this client prefix to" at one epoch of the fault timeline.
+// this client prefix to" at one epoch of the fault timeline. Degraded
+// reports that the answer came from a fallback epoch because the
+// repair chain was failing; Epoch is then the epoch actually answered.
 type CatchmentResp struct {
 	Query    string `json:"query"`
 	World    string `json:"world"`
@@ -177,11 +433,25 @@ type CatchmentResp struct {
 	Site     int    `json:"site"`
 	SiteASN  int    `json:"site_asn"`
 	SiteCity int    `json:"site_city"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 // AnswerCatchment resolves the prefix's anycast catchment at the given
 // epoch; epoch < 0 means the live cursor.
 func (s *Server) AnswerCatchment(prefixID, epoch int) (CatchmentResp, error) {
+	return s.AnswerCatchmentContext(context.Background(), prefixID, epoch)
+}
+
+// AnswerCatchmentContext is AnswerCatchment under the server's
+// admission gate and per-query deadline, honoring ctx.
+func (s *Server) AnswerCatchmentContext(ctx context.Context, prefixID, epoch int) (CatchmentResp, error) {
+	ctx, cancel := s.queryCtx(ctx)
+	defer cancel()
+	release, err := s.admit.acquire(ctx)
+	if err != nil {
+		return CatchmentResp{}, err
+	}
+	defer release()
 	p, err := s.prefix(prefixID)
 	if err != nil {
 		return CatchmentResp{}, err
@@ -192,11 +462,16 @@ func (s *Server) AnswerCatchment(prefixID, epoch int) (CatchmentResp, error) {
 	if err := s.checkEpoch(epoch); err != nil {
 		return CatchmentResp{}, err
 	}
-	rib, err := s.w.CDN.AnycastRIBAt(epoch)
+	rib, at, degraded, err := s.anycastRIBAt(ctx, epoch)
 	if err != nil {
 		return CatchmentResp{}, err
 	}
-	return s.catchmentVia(rib, p, epoch)
+	resp, err := s.catchmentVia(rib, p, at)
+	if err != nil {
+		return CatchmentResp{}, err
+	}
+	resp.Degraded = degraded
+	return resp, nil
 }
 
 func (s *Server) catchmentVia(rib *bgp.RIB, p topology.Prefix, epoch int) (CatchmentResp, error) {
@@ -230,7 +505,8 @@ type EgressObs struct {
 // prefix at one instant: what BGP's most-preferred policy-compliant
 // egress delivers vs the best alternate the provider could have used.
 // DeltaMs = preferred − best alternate; positive means BGP is leaving
-// latency on the table.
+// latency on the table. Degraded reports a fallback-epoch answer
+// (Epoch is then the epoch actually answered, not the one t selects).
 type LatencyResp struct {
 	Query     string     `json:"query"`
 	World     string     `json:"world"`
@@ -242,22 +518,41 @@ type LatencyResp struct {
 	Preferred EgressObs  `json:"preferred"`
 	BestAlt   *EgressObs `json:"best_alternate,omitempty"`
 	DeltaMs   float64    `json:"delta_ms"`
+	Degraded  bool       `json:"degraded,omitempty"`
 }
 
 // AnswerLatency measures BGP-preferred vs best-alternate latency for
 // the prefix at minute t, with the fault timeline's route changes
 // repaired in (the epoch in effect at t selects the egress RIB).
 func (s *Server) AnswerLatency(prefixID int, t float64) (LatencyResp, error) {
+	return s.AnswerLatencyContext(context.Background(), prefixID, t)
+}
+
+// AnswerLatencyContext is AnswerLatency under the server's admission
+// gate and per-query deadline, honoring ctx.
+func (s *Server) AnswerLatencyContext(ctx context.Context, prefixID int, t float64) (LatencyResp, error) {
+	ctx, cancel := s.queryCtx(ctx)
+	defer cancel()
+	release, err := s.admit.acquire(ctx)
+	if err != nil {
+		return LatencyResp{}, err
+	}
+	defer release()
 	p, err := s.prefix(prefixID)
 	if err != nil {
 		return LatencyResp{}, err
 	}
 	epoch := s.w.Epochs.At(t)
-	rib, err := s.egressRIBAt(p.Origin, epoch)
+	rib, at, degraded, err := s.egressRIBAt(ctx, p.Origin, epoch)
 	if err != nil {
 		return LatencyResp{}, err
 	}
-	return s.latencyVia(rib, p, t, epoch)
+	resp, err := s.latencyVia(rib, p, t, at)
+	if err != nil {
+		return LatencyResp{}, err
+	}
+	resp.Degraded = degraded
+	return resp, nil
 }
 
 // latencyVia measures the options offered by the given toward-prefix
@@ -333,6 +628,23 @@ type WhatIfResp struct {
 // repair, others rebuild; answers are bit-identical either way) and
 // answers the nested query against the resulting RIB.
 func (s *Server) AnswerWhatIf(req WhatIfReq) (WhatIfResp, error) {
+	return s.AnswerWhatIfContext(context.Background(), req)
+}
+
+// AnswerWhatIfContext is AnswerWhatIf under the server's admission
+// gate and per-query deadline; the deadline is threaded through every
+// scratch-chain Apply, so a stalled hypothetical is abandoned at a
+// repair-stage boundary instead of running to completion. Scratch
+// chains have no installed epochs, so there is no degraded fallback —
+// a deadline hit is ErrDeadline.
+func (s *Server) AnswerWhatIfContext(ctx context.Context, req WhatIfReq) (WhatIfResp, error) {
+	ctx, cancel := s.queryCtx(ctx)
+	defer cancel()
+	release, err := s.admit.acquire(ctx)
+	if err != nil {
+		return WhatIfResp{}, err
+	}
+	defer release()
 	p, err := s.prefix(req.Prefix)
 	if err != nil {
 		return WhatIfResp{}, err
@@ -350,7 +662,7 @@ func (s *Server) AnswerWhatIf(req WhatIfReq) (WhatIfResp, error) {
 	case "latency":
 		anns = []bgp.Announcement{{Origin: p.Origin}}
 	default:
-		return WhatIfResp{}, badQuery("kind %q is not a what-if query (catchment, latency)", req.Kind)
+		return WhatIfResp{}, badQuery("kind %q is not a what-if query (valid kinds: catchment, latency)", req.Kind)
 	}
 	rep, err := bgp.StartRepair(s.w.Routes, anns)
 	if err != nil {
@@ -358,7 +670,10 @@ func (s *Server) AnswerWhatIf(req WhatIfReq) (WhatIfResp, error) {
 	}
 	down := map[int]bool{}
 	for _, d := range req.Deltas {
-		if err := rep.Apply(d); err != nil {
+		if err := bgp.ApplyContext(ctx, rep, d); err != nil {
+			if ctx.Err() != nil {
+				return WhatIfResp{}, fmt.Errorf("%w: %v", ErrDeadline, err)
+			}
 			return WhatIfResp{}, err
 		}
 		down = delta.Apply(down, d)
@@ -400,7 +715,8 @@ type EpochResp struct {
 // AnswerEpoch reads or moves the live epoch cursor: advance is a
 // relative move (0 reads), set pins an absolute epoch (nil leaves the
 // cursor to advance). Out-of-range moves are rejected, the cursor
-// unchanged.
+// unchanged. The cursor endpoint is deliberately outside the admission
+// gate: operators must be able to steer a saturated daemon.
 func (s *Server) AnswerEpoch(advance int, set *int) (EpochResp, error) {
 	seq := s.w.Epochs
 	for {

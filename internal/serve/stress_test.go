@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"beatbgp/internal/core"
+	"beatbgp/internal/loadgen"
+	"beatbgp/internal/serve/chaos"
+)
+
+// TestStressServeOverload is the overload soak (`make stress-serve`,
+// race-enabled): a flash-crowd loadgen fleet drives a live listener far
+// past its admission capacity while chaos stalls and errors hit the
+// repair chains. Graceful degradation means every refusal is typed —
+// 429 from the gate, 503/504 from broken or slow chains, never a
+// transport-level failure — the p99 of admitted queries stays bounded
+// by the deadline, fallback answers are explicitly marked degraded,
+// and the daemon returns to its pre-soak goroutine count afterwards.
+func TestStressServeOverload(t *testing.T) {
+	if os.Getenv("STRESS_SERVE") == "" {
+		t.Skip("set STRESS_SERVE=1 (or run `make stress-serve`) for the overload soak")
+	}
+	before := runtime.NumGoroutine()
+
+	s, err := core.NewScenario(core.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The gate is sized well below the fleet's worker count (64) so the
+	// flash crowd saturates it even when the race detector slows the
+	// whole process down — the soak's point is the shedding behavior,
+	// not the absolute capacity.
+	const queryTimeout = 250 * time.Millisecond
+	srv := New(w, WithAdmission(4, 4), WithQueryTimeout(queryTimeout))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	// Warm the anycast chain and a spread of origin chains at epoch 0 so
+	// the chaos phase has installed epochs to fall back on — the same
+	// "last good answer" an operator would have after any healthy uptime.
+	client := benchClient()
+	nP := len(w.Topo.Prefixes)
+	for p := 0; p < nP; p += 7 {
+		if _, err := benchGet(client, base+"/catchment?prefix="+strconv.Itoa(p)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := benchGet(client, base+"/latency?prefix="+strconv.Itoa(p)+"&t=0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Chaos: a quarter of repair attempts fail outright, a tenth stall
+	// for 100ms against the 250ms query deadline.
+	srv.SetChaos(mustChaos(t, chaos.Config{
+		Seed:       42,
+		RepairErrP: 0.25,
+		StallP:     0.10,
+		StallMs:    100,
+	}))
+
+	third := nP / 3
+	cfg := loadgen.Config{
+		Seed:        42,
+		Clients:     1_000_000,
+		SessionRate: 1e-4, // ~100 arrivals/tick at base rate
+		Ticks:       300,
+		TickWall:    2 * time.Millisecond,
+		Regions: []loadgen.Region{
+			{Name: "na", Weight: 2, PrefixLo: 0, PrefixHi: third, Phase: 0},
+			{Name: "eu", Weight: 1, PrefixLo: third, PrefixHi: 2 * third, Phase: 0.33},
+			{Name: "apac", Weight: 1, PrefixLo: 2 * third, PrefixHi: nP, Phase: 0.66},
+		},
+		Bursts:        []loadgen.Burst{{Region: -1, Start: 100, End: 200, Mult: 5}},
+		DiurnalAmp:    0.3,
+		CatchmentFrac: 0.3,
+		Workers:       64,
+		Buffer:        256,
+		Deadline:      time.Second,
+		MaxOffered:    60_000,
+	}
+	rep, err := loadgen.Run(context.Background(), cfg, &loadgen.HTTPTarget{Base: base, Client: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %s", rep.String())
+	t.Logf("soak OK tail: p50 %.2fms p99 %.2fms p99.9 %.2fms shed %.1f%% degraded %d",
+		rep.OKP50Ms, rep.OKP99Ms, rep.OKP999Ms, rep.ShedPct(), rep.Degraded)
+
+	// The gate actually shed under the flash crowd, with typed 429s.
+	if rep.Shed() == 0 {
+		t.Errorf("flash crowd at 5x never tripped the admission gate: %s", rep.String())
+	}
+	// Some admitted work completed, and some answers were degraded
+	// fallbacks — explicitly marked, with a quarter of repairs failing.
+	if rep.OK() == 0 {
+		t.Errorf("no query succeeded during the soak: %s", rep.String())
+	}
+	if rep.Degraded == 0 {
+		t.Errorf("chaos repair errors produced no marked-degraded fallbacks: %s", rep.String())
+	}
+	// Every refusal is typed: no transport-level failures, no untyped
+	// statuses. 400s are legitimately unresolvable prefixes.
+	for code := range rep.Codes {
+		switch code {
+		case 200, 400, 429, 503, 504:
+		default:
+			t.Errorf("untyped status %d (%d queries): %s", code, rep.Codes[code], rep.String())
+		}
+	}
+	// The tail of admitted-and-served queries stays bounded by the
+	// serving deadline — overload pushes excess into 429s, not into an
+	// unbounded served tail.
+	boundMs := 2 * float64(queryTimeout/time.Millisecond)
+	if rep.OKP99Ms > boundMs {
+		t.Errorf("admitted p99 %.1fms exceeds %.0fms bound: %s", rep.OKP99Ms, boundMs, rep.String())
+	}
+
+	// Drain and verify the goroutine count recovers: no leaked workers,
+	// timers, or stuck repair chains.
+	client.CloseIdleConnections()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after soak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

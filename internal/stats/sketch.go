@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sketch is a bounded-memory streaming quantile estimator: geometric
+// buckets of ratio growth starting at min0, one uint64 count per bucket.
+// It is the online half of the package — Dist keeps every sample for
+// exact quantiles, a Sketch keeps O(log(max/min)) counters regardless of
+// stream length, so a million-client load run aggregates tail latencies
+// without holding a million observations. Quantile error is bounded by
+// the bucket ratio (the default 1.02 gives ≤ ~2% relative error), and
+// the estimate is deterministic in the multiset of added values: Add
+// order and Merge order never change any answer.
+//
+// A Sketch is not safe for concurrent use; shard one per worker and
+// Merge at the end (merging is exact — counts add).
+type Sketch struct {
+	min0   float64 // lower edge of bucket 0
+	growth float64 // bucket edge ratio
+	logG   float64 // cached log(growth)
+
+	counts []uint64 // counts[i] covers [min0*growth^i, min0*growth^(i+1))
+	low    uint64   // values in (-inf, min0)
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Default sketch resolution: with values in milliseconds, min0 resolves
+// 1µs and 1.02 growth spans 1µs..1h in under 1200 buckets.
+const (
+	defaultSketchMin0   = 1e-3
+	defaultSketchGrowth = 1.02
+)
+
+// NewSketch returns a sketch at the default resolution (≤ ~2% relative
+// quantile error, smallest resolvable value 1e-3).
+func NewSketch() *Sketch { s, _ := NewSketchRes(defaultSketchMin0, defaultSketchGrowth); return s }
+
+// NewSketchRes returns a sketch with bucket 0 starting at min0 and
+// bucket edges growing by the given ratio (> 1).
+func NewSketchRes(min0, growth float64) (*Sketch, error) {
+	if !(min0 > 0) || math.IsInf(min0, 0) {
+		return nil, fmt.Errorf("stats: sketch min0 = %v must be finite and positive", min0)
+	}
+	if !(growth > 1) || math.IsInf(growth, 0) {
+		return nil, fmt.Errorf("stats: sketch growth = %v must be finite and > 1", growth)
+	}
+	return &Sketch{min0: min0, growth: growth, logG: math.Log(growth),
+		min: math.Inf(1), max: math.Inf(-1)}, nil
+}
+
+// Add records one observation. NaN and ±Inf are ignored (they carry no
+// rank); values below min0 (including negatives) land in the underflow
+// bucket and report as the observed minimum in quantiles.
+func (s *Sketch) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	s.n++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if v < s.min0 {
+		s.low++
+		return
+	}
+	i := int(math.Log(v/s.min0) / s.logG)
+	if i >= len(s.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, s.counts)
+		s.counts = grown
+	}
+	s.counts[i]++
+}
+
+// N returns the number of recorded observations.
+func (s *Sketch) N() uint64 { return s.n }
+
+// Mean returns the exact running mean, or NaN when empty.
+func (s *Sketch) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest recorded observation, or NaN when empty.
+func (s *Sketch) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest recorded observation, or NaN when empty.
+func (s *Sketch) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1): the bucket holding the
+// ⌈q·n⌉-th smallest observation answers with its geometric midpoint,
+// clamped to the observed [min, max] so the estimate never leaves the
+// data's range. Empty sketches and NaN q yield NaN.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	target := uint64(math.Ceil(q * float64(s.n)))
+	if target == 0 {
+		target = 1
+	}
+	acc := s.low
+	if acc >= target {
+		return s.min
+	}
+	for i, c := range s.counts {
+		acc += c
+		if acc >= target {
+			lo := s.min0 * math.Pow(s.growth, float64(i))
+			return s.clamp(lo * math.Sqrt(s.growth))
+		}
+	}
+	return s.max
+}
+
+func (s *Sketch) clamp(v float64) float64 {
+	if v < s.min {
+		return s.min
+	}
+	if v > s.max {
+		return s.max
+	}
+	return v
+}
+
+// Merge folds o into s. Both sketches must share a resolution (min0 and
+// growth); merged answers equal a single sketch fed both streams.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o == nil || o.n == 0 {
+		return nil
+	}
+	if o.min0 != s.min0 || o.growth != s.growth {
+		return fmt.Errorf("stats: cannot merge sketches with resolutions (%v,%v) and (%v,%v)",
+			s.min0, s.growth, o.min0, o.growth)
+	}
+	if len(o.counts) > len(s.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, s.counts)
+		s.counts = grown
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+	s.low += o.low
+	s.n += o.n
+	s.sum += o.sum
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	return nil
+}
+
+// CDFSeries samples the sketch's estimated CDF at n evenly spaced
+// quantiles and returns them as a plottable series — the same Series
+// the experiment tables render, so load-run tails drop straight into
+// the existing aggregation and Render paths.
+func (s *Sketch) CDFSeries(name string, n int) Series {
+	out := Series{Name: name, XLabel: "value", YLabel: "cum. fraction"}
+	if n < 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out.Points = append(out.Points, XY{X: s.Quantile(q), Y: q})
+	}
+	return out
+}

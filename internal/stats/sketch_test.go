@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"beatbgp/internal/xrand"
+)
+
+// TestSketchQuantileAccuracy: sketch quantiles must track the exact
+// (Dist) quantiles within the bucket ratio's relative error on a
+// lognormal stream — the latency-shaped distribution it exists to
+// digest.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := xrand.Derive(42, 0x51e7c4)
+	sk := NewSketch()
+	var d Dist
+	for i := 0; i < 50_000; i++ {
+		v := rng.LogNormal(2, 0.8) // ms-scale latencies, heavy right tail
+		sk.Add(v)
+		d.Add(v, 1)
+	}
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := d.Quantile(q)
+		got := sk.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.03 {
+			t.Errorf("q=%v: sketch %v vs exact %v (rel err %.4f > 3%%)", q, got, exact, rel)
+		}
+	}
+	if math.Abs(sk.Mean()-d.Mean()) > 1e-9*math.Abs(d.Mean()) {
+		t.Errorf("mean: sketch %v vs exact %v (mean is exact, not bucketed)", sk.Mean(), d.Mean())
+	}
+	if sk.Min() != d.Min() || sk.Max() != d.Max() {
+		t.Errorf("min/max: sketch (%v,%v) vs exact (%v,%v)", sk.Min(), sk.Max(), d.Min(), d.Max())
+	}
+}
+
+// TestSketchMergeExact: merging shards must answer exactly like one
+// sketch fed the concatenated stream — counts add, nothing resampled.
+func TestSketchMergeExact(t *testing.T) {
+	rng := xrand.Derive(7, 0x6e46e)
+	whole := NewSketch()
+	shards := make([]*Sketch, 4)
+	for i := range shards {
+		shards[i] = NewSketch()
+	}
+	for i := 0; i < 10_000; i++ {
+		v := rng.Exp(12)
+		whole.Add(v)
+		shards[i%len(shards)].Add(v)
+	}
+	merged := NewSketch()
+	for _, sh := range shards {
+		if err := merged.Merge(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("merged N %d != whole N %d", merged.N(), whole.N())
+	}
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+			t.Fatalf("q=%v: merged %v != whole %v", q, m, w)
+		}
+	}
+	// Mean may differ by float summation order across shards; min/max
+	// and counts are exact.
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-9*whole.Mean() {
+		t.Fatalf("merged mean %v vs whole %v", merged.Mean(), whole.Mean())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatal("merged min/max diverge from whole-stream sketch")
+	}
+}
+
+// TestSketchOrderInvariant: the estimate is deterministic in the
+// multiset — reversing Add order changes nothing.
+func TestSketchOrderInvariant(t *testing.T) {
+	vals := make([]float64, 5000)
+	rng := xrand.Derive(3, 0x04de4)
+	for i := range vals {
+		vals[i] = rng.Pareto(0.5, 1.5)
+	}
+	fwd, rev := NewSketch(), NewSketch()
+	for _, v := range vals {
+		fwd.Add(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		rev.Add(vals[i])
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		if fwd.Quantile(q) != rev.Quantile(q) {
+			t.Fatalf("q=%v order-dependent: %v vs %v", q, fwd.Quantile(q), rev.Quantile(q))
+		}
+	}
+}
+
+// TestSketchEdgeCases: empty, bad inputs, underflow bucket, clamping.
+func TestSketchEdgeCases(t *testing.T) {
+	sk := NewSketch()
+	if !math.IsNaN(sk.Quantile(0.5)) || !math.IsNaN(sk.Mean()) {
+		t.Fatal("empty sketch must answer NaN")
+	}
+	sk.Add(math.NaN())
+	sk.Add(math.Inf(1))
+	sk.Add(math.Inf(-1))
+	if sk.N() != 0 {
+		t.Fatalf("NaN/Inf must be ignored, got N=%d", sk.N())
+	}
+	// Underflow: negatives and sub-resolution values keep rank and are
+	// clamped into the observed range.
+	sk.Add(-5)
+	sk.Add(0)
+	sk.Add(1e-9)
+	sk.Add(100)
+	if sk.N() != 4 {
+		t.Fatalf("N = %d, want 4", sk.N())
+	}
+	if q := sk.Quantile(0.25); q != -5 {
+		t.Fatalf("underflow quantile %v, want clamp to observed min -5", q)
+	}
+	if q := sk.Quantile(1); q != 100 {
+		t.Fatalf("q=1 is %v, want observed max 100", q)
+	}
+	if got := sk.Quantile(0.5); got < -5 || got > 100 {
+		t.Fatalf("quantile %v escapes observed range", got)
+	}
+
+	if _, err := NewSketchRes(0, 1.02); err == nil {
+		t.Fatal("min0=0 must be rejected")
+	}
+	if _, err := NewSketchRes(1e-3, 1); err == nil {
+		t.Fatal("growth=1 must be rejected")
+	}
+	if _, err := NewSketchRes(1e-3, math.NaN()); err == nil {
+		t.Fatal("growth=NaN must be rejected")
+	}
+	a := NewSketch()
+	b, err := NewSketchRes(1e-3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched resolutions must fail")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merging nil must be a no-op, got %v", err)
+	}
+}
+
+// TestSketchCDFSeries: the exported series is monotone in both axes and
+// spans the observed range — ready for the experiment tables.
+func TestSketchCDFSeries(t *testing.T) {
+	sk := NewSketch()
+	rng := xrand.Derive(11, 0xcd5)
+	for i := 0; i < 2000; i++ {
+		sk.Add(rng.Uniform(1, 50))
+	}
+	s := sk.CDFSeries("lat", 41)
+	if s.Name != "lat" || len(s.Points) != 41 {
+		t.Fatalf("series shape: name %q, %d points", s.Name, len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].X < s.Points[i-1].X || s.Points[i].Y < s.Points[i-1].Y {
+			t.Fatalf("series not monotone at %d: %+v -> %+v", i, s.Points[i-1], s.Points[i])
+		}
+	}
+	if s.Points[0].X != sk.Min() || s.Points[len(s.Points)-1].X != sk.Max() {
+		t.Fatalf("series endpoints (%v,%v) don't span observed range (%v,%v)",
+			s.Points[0].X, s.Points[len(s.Points)-1].X, sk.Min(), sk.Max())
+	}
+}

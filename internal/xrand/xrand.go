@@ -151,6 +151,34 @@ func (r *Rand) Pareto(xm, alpha float64) float64 {
 	}
 }
 
+// Poisson returns a Poisson-distributed count with the given mean. Small
+// means use Knuth's product method; large means (≥ 30, where the product
+// method would burn one draw per event) use the normal approximation
+// rounded and clamped at zero, which is accurate to well under a count at
+// the arrival-process scales the load generator drives. A non-positive or
+// NaN mean yields 0 without consuming a draw.
+func (r *Rand) Poisson(mean float64) int {
+	if !(mean > 0) {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k, p := 0, 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := r.Norm(mean, math.Sqrt(mean))
+	if n < 0 {
+		return 0
+	}
+	return int(n + 0.5)
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)

@@ -312,3 +312,51 @@ func TestDeriveConcurrentSafe(t *testing.T) {
 		}
 	}
 }
+
+func TestPoissonMoments(t *testing.T) {
+	// Both regimes — Knuth product (mean < 30) and the normal
+	// approximation (mean >= 30) — must land near the Poisson mean and
+	// variance.
+	for _, mean := range []float64{0.5, 4, 25, 60, 400} {
+		r := New(77)
+		const n = 40000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			k := float64(r.Poisson(mean))
+			sum += k
+			sumSq += k * k
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.05 {
+			t.Errorf("mean %v: sample mean %v", mean, m)
+		}
+		// Poisson variance equals the mean.
+		if math.Abs(v-mean) > 0.12*mean+0.12 {
+			t.Errorf("mean %v: sample variance %v, want ~%v", mean, v, mean)
+		}
+	}
+}
+
+func TestPoissonDegenerate(t *testing.T) {
+	r := New(1)
+	for _, mean := range []float64{0, -3, math.NaN()} {
+		if k := r.Poisson(mean); k != 0 {
+			t.Fatalf("Poisson(%v) = %d, want 0", mean, k)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if k := r.Poisson(1e6); k < 0 {
+			t.Fatal("Poisson draw went negative")
+		}
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, b := Derive(5, 0xbeef), Derive(5, 0xbeef)
+	for i := 0; i < 200; i++ {
+		if ka, kb := a.Poisson(9.5), b.Poisson(9.5); ka != kb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, ka, kb)
+		}
+	}
+}
